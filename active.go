@@ -1,0 +1,170 @@
+// Package active is the public API of the active architecture for
+// pervasive contextual services — a Go reproduction of Kirby, Dearle,
+// Morrison, Dunlop, Connor & Nixon, "Active Architecture for Pervasive
+// Contextual Services" (MPAC 2003).
+//
+// The architecture is several P2P systems overlaid on each other:
+//
+//   - a Siena-like content-based publish/subscribe event service,
+//   - a Plaxton/Pastry structured overlay carrying a PAST-like replicated
+//     object store with promiscuous caching and erasure coding,
+//   - Cingal-style thin servers that verify and execute signed code
+//     bundles (matchlets, storelets, probes, pipelines) inside
+//     capability-protected security domains,
+//   - a distributed contextual matching engine built from declarative,
+//     XML-serialisable rules correlated against a knowledge base and GIS,
+//   - and an evolution engine that places and repairs all of the above
+//     under declarative placement constraints.
+//
+// Quick start:
+//
+//	world, err := active.NewWorld(active.WorldConfig{Seed: 1, Nodes: 9})
+//	if err != nil { ... }
+//	svc, err := world.DeployService(active.IceCreamService(2, "eu"), 0)
+//	world.RunFor(30 * time.Second)
+//
+// Everything runs on a deterministic simulated WAN by default; the same
+// protocol stack runs over real TCP via cmd/activenode.
+package active
+
+import (
+	"time"
+
+	"github.com/gloss/active/internal/constraint"
+	"github.com/gloss/active/internal/core"
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/knowledge"
+	"github.com/gloss/active/internal/match"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/pubsub"
+)
+
+// Core world types.
+type (
+	// World is a booted simulated deployment of the architecture.
+	World = core.World
+	// WorldConfig parameterises NewWorld.
+	WorldConfig = core.WorldConfig
+	// NodeConfig tunes each node's protocol stack.
+	NodeConfig = core.NodeConfig
+	// ActiveNode is one participant node.
+	ActiveNode = core.ActiveNode
+	// RegionSpec places node groups geographically.
+	RegionSpec = core.RegionSpec
+	// ServiceDescriptor declares a pervasive contextual service.
+	ServiceDescriptor = core.ServiceDescriptor
+	// Service is a deployed service handle.
+	Service = core.Service
+)
+
+// Event model.
+type (
+	// Event is one item of contextual information.
+	Event = event.Event
+	// Value is a typed attribute value.
+	Value = event.Value
+	// ID is a 128-bit identifier (node ID, GUID, event ID).
+	ID = ids.ID
+	// Coord is a planar position in kilometres.
+	Coord = netapi.Coord
+)
+
+// Matching rules.
+type (
+	// Rule is a declarative matchlet specification.
+	Rule = match.Rule
+	// Pattern selects and binds one event stream within a rule.
+	Pattern = match.Pattern
+	// Binding unifies an event attribute with a rule variable.
+	Binding = match.Binding
+	// Condition is one rule predicate.
+	Condition = match.Condition
+	// Emit describes a rule's synthesised output event.
+	Emit = match.Emit
+	// EmitAttr maps one output attribute to a term.
+	EmitAttr = match.EmitAttr
+)
+
+// Pub/sub filters.
+type (
+	// Filter is a conjunction of attribute constraints.
+	Filter = pubsub.Filter
+	// Constraint restricts one attribute.
+	Constraint = pubsub.Constraint
+)
+
+// Knowledge.
+type (
+	// Fact is a subject–predicate–object triple with optional validity.
+	Fact = knowledge.Fact
+	// Place is a GIS feature with coordinates, hours and stock.
+	Place = knowledge.Place
+	// Span is a daily opening interval.
+	Span = knowledge.Span
+)
+
+// NewWorld builds and boots a simulated deployment.
+func NewWorld(cfg WorldConfig) (*World, error) { return core.NewWorld(cfg) }
+
+// DefaultRegions models three continents ~8000 km apart.
+var DefaultRegions = core.DefaultRegions
+
+// NewFilter builds a content-based subscription filter.
+func NewFilter(cs ...Constraint) Filter { return pubsub.NewFilter(cs...) }
+
+// TypeIs constrains the implicit event type attribute.
+func TypeIs(t string) Constraint { return pubsub.TypeIs(t) }
+
+// Eq builds an equality constraint.
+func Eq(attr string, v Value) Constraint { return pubsub.Eq(attr, v) }
+
+// Gt builds a greater-than constraint.
+func Gt(attr string, v Value) Constraint { return pubsub.Gt(attr, v) }
+
+// Lt builds a less-than constraint.
+func Lt(attr string, v Value) Constraint { return pubsub.Lt(attr, v) }
+
+// S constructs a string attribute value.
+func S(s string) Value { return event.S(s) }
+
+// I constructs an integer attribute value.
+func I(i int64) Value { return event.I(i) }
+
+// F constructs a float attribute value.
+func F(f float64) Value { return event.F(f) }
+
+// B constructs a boolean attribute value.
+func B(b bool) Value { return event.B(b) }
+
+// NewEvent constructs an event; Stamp it with a sequence number before
+// publishing.
+func NewEvent(typ, source string, at time.Duration) *Event {
+	return event.New(typ, source, at)
+}
+
+// MinInstances requires at least N instances of a logical program in a
+// region ("" = anywhere) — the paper's example placement constraint.
+func MinInstances(program, region string, n int) *constraint.MinInstances {
+	return &constraint.MinInstances{Program: program, Region: region, N: n}
+}
+
+// Constraints groups placement constraints for a service descriptor.
+func Constraints(cs ...constraint.Constraint) *constraint.Set {
+	return constraint.NewSet(cs...)
+}
+
+// The paper's worked example (§1.1), packaged for reuse.
+var (
+	// IceCreamService builds the Bob/Anna scenario service descriptor.
+	IceCreamService = core.IceCreamService
+	// IceCreamRule is the scenario's correlation rule.
+	IceCreamRule = core.IceCreamRule
+	// IceCreamFacts is the scenario's knowledge fixture.
+	IceCreamFacts = core.IceCreamFacts
+	// IceCreamPlaces is the scenario's GIS fixture.
+	IceCreamPlaces = core.IceCreamPlaces
+)
+
+// ScenarioStart is the virtual time at which the worked example is set.
+const ScenarioStart = core.ScenarioStart

@@ -1,0 +1,65 @@
+package active
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeQuickstart exercises the public API exactly as README's
+// quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	world, err := NewWorld(WorldConfig{Seed: 7, Nodes: 6})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	world.RunFor(ScenarioStart - world.Sim.Now())
+	svc, err := world.DeployService(IceCreamService(1, ""), 0)
+	if err != nil {
+		t.Fatalf("DeployService: %v", err)
+	}
+	world.RunFor(15 * time.Second)
+	if svc.Engine.Stats().DeploysOK != 1 {
+		t.Fatalf("matchlet not deployed: %+v", svc.Engine.Stats())
+	}
+
+	// Publish the scenario events through the facade types.
+	got := 0
+	world.Node(1).Client.Subscribe(NewFilter(TypeIs("suggestion.meet")), func(*Event) { got++ })
+	world.RunFor(2 * time.Second)
+	now := world.Sim.Now()
+	world.Node(2).Client.Publish(NewEvent("weather.report", "thermo", now).
+		Set("region", S("eu")).Set("tempC", F(21)).Stamp(1))
+	world.Node(3).Client.Publish(NewEvent("gps.location", "gps-anna", now).
+		Set("user", S("anna")).Set("x", F(10.25)).Set("y", F(3.95)).Stamp(2))
+	world.RunFor(2 * time.Second)
+	world.Node(4).Client.Publish(NewEvent("gps.location", "gps-bob", world.Sim.Now()).
+		Set("user", S("bob")).Set("x", F(10.20)).Set("y", F(4.05)).Stamp(3))
+	world.RunFor(10 * time.Second)
+	if got == 0 {
+		t.Fatal("no suggestion delivered through the facade")
+	}
+}
+
+func TestFacadeConstraintHelpers(t *testing.T) {
+	cs := Constraints(MinInstances("matchlet/x", "eu", 3))
+	if cs.Len() != 1 {
+		t.Fatalf("constraint set: %d", cs.Len())
+	}
+	desc := cs.Describe()[0]
+	if desc != `minInstances(matchlet/x, "eu", 3)` {
+		t.Fatalf("describe: %s", desc)
+	}
+}
+
+func TestFacadeValues(t *testing.T) {
+	ev := NewEvent("t", "s", time.Second).
+		Set("a", S("x")).Set("b", I(1)).Set("c", F(2.5)).Set("d", B(true)).
+		Stamp(1)
+	if ev.GetString("a") != "x" || ev.GetNum("b") != 1 || ev.GetNum("c") != 2.5 {
+		t.Fatalf("facade values: %+v", ev.Attrs)
+	}
+	f := NewFilter(TypeIs("t"), Gt("b", I(0)), Lt("c", F(3)), Eq("d", B(true)))
+	if !f.Matches(ev) {
+		t.Fatal("facade filter should match")
+	}
+}

@@ -1,0 +1,195 @@
+package active
+
+// One benchmark per experiment in EXPERIMENTS.md (E-F1..E-F3 reproduce
+// the paper's figures; E-T1..E-T10 back its quantitative claims), plus
+// micro-benchmarks of the hottest code paths. The macro benchmarks run a
+// full deterministic world per iteration and report the headline metric
+// via b.ReportMetric; run cmd/benchtab for the full tables.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/exp"
+	"github.com/gloss/active/internal/knowledge"
+	"github.com/gloss/active/internal/match"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/vclock"
+)
+
+// report parses a numeric table cell and reports it as a benchmark metric.
+func report(b *testing.B, tab *exp.Table, row, col int, unit string) {
+	b.Helper()
+	cell := strings.TrimSuffix(tab.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		b.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	b.ReportMetric(v, unit)
+}
+
+func BenchmarkE_F1_GlobalMatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.F1GlobalMatching(true)
+		report(b, tab, 0, 3, "distill-ratio")
+	}
+}
+
+func BenchmarkE_F2_Pipelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.F2Pipelines(true)
+		report(b, tab, 2, 4, "inter-node-ms")
+	}
+}
+
+func BenchmarkE_F3_Deployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.F3Deployment(true)
+		report(b, tab, 0, 3, "deploy-rtt-ms")
+	}
+}
+
+func BenchmarkE_T1_PlaxtonRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T1PlaxtonRouting(true)
+		report(b, tab, len(tab.Rows)-1, 3, "mean-hops")
+	}
+}
+
+func BenchmarkE_T2_ReplicaResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T2ReplicaResilience(true)
+		report(b, tab, len(tab.Rows)-1, 3, "healed-avail-pct")
+	}
+}
+
+func BenchmarkE_T3_PromiscuousCaching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T3PromiscuousCaching(true)
+		report(b, tab, 1, 2, "cached-read-ms")
+	}
+}
+
+func BenchmarkE_T4_PubSubScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T4PubSubScaling(true)
+		report(b, tab, 0, 4, "fwd-subs")
+	}
+}
+
+func BenchmarkE_T5_MatchThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T5MatchThroughput(true)
+		report(b, tab, 0, 3, "events-per-sec")
+	}
+}
+
+func BenchmarkE_T6_EvolutionRepair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T6EvolutionRepair(true)
+		report(b, tab, 0, 2, "repair-ms")
+	}
+}
+
+func BenchmarkE_T7_PlacementPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T7PlacementPolicies(true)
+		report(b, tab, 2, 3, "latency-policy-ms")
+	}
+}
+
+func BenchmarkE_T8_TypeProjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T8TypeProjection(true)
+		report(b, tab, 0, 2, "us-per-doc")
+	}
+}
+
+func BenchmarkE_T9_MobilityHandoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T9MobilityHandoff(true)
+		report(b, tab, 1, 5, "handoff-ms")
+	}
+}
+
+func BenchmarkE_T10_Discovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T10Discovery(true)
+		report(b, tab, 0, 1, "discovery-ms")
+	}
+}
+
+// --- micro-benchmarks of hot paths ------------------------------------------
+
+func BenchmarkFilterMatch(b *testing.B) {
+	f := NewFilter(TypeIs("gps.location"), Eq("user", S("bob")), Gt("x", F(5)))
+	ev := NewEvent("gps.location", "gps", 0).
+		Set("user", S("bob")).Set("x", F(10)).Set("y", F(4)).Stamp(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Matches(ev) {
+			b.Fatal("must match")
+		}
+	}
+}
+
+func BenchmarkFilterCovers(b *testing.B) {
+	broad := NewFilter(TypeIs("gps.location"), Gt("x", F(0)))
+	narrow := NewFilter(TypeIs("gps.location"), Eq("user", S("bob")), Gt("x", F(5)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pubsub.Covers(broad, narrow) {
+			b.Fatal("must cover")
+		}
+	}
+}
+
+func BenchmarkEventXMLRoundTrip(b *testing.B) {
+	ev := NewEvent("weather.report", "thermo-eu", time.Second).
+		Set("region", S("eu")).Set("tempC", F(20.5)).Set("n", I(7)).Stamp(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := event.Marshal(ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := event.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnginePut(b *testing.B) {
+	sched := vclock.NewScheduler()
+	kb := knowledge.NewKB()
+	kb.AddSPO("bob", "likes", "ice cream")
+	gis := knowledge.NewGIS()
+	eng := match.NewEngine(sched, kb, gis, match.Options{})
+	rule := &match.Rule{
+		Name:     "hot",
+		WindowMs: 60_000,
+		Patterns: []match.Pattern{{
+			Alias:  "w",
+			Filter: pubsub.NewFilter(pubsub.TypeIs("weather.report")),
+		}},
+		Where: []match.Condition{{Type: "cmp", Left: "$w.tempC", Op: "gt", Right: "30"}},
+		Emit:  match.Emit{Type: "alert.heat", Attrs: []match.EmitAttr{{Name: "t", From: "$w.tempC", Volatile: true}}},
+	}
+	if err := eng.AddRule(rule); err != nil {
+		b.Fatal(err)
+	}
+	evs := make([]*event.Event, 256)
+	for i := range evs {
+		evs[i] = event.New("weather.report", "thermo", 0).
+			Set("tempC", event.F(float64(i%40))).
+			Set("region", event.S("eu")).
+			Stamp(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Put(evs[i%len(evs)])
+	}
+}

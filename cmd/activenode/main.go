@@ -1,0 +1,134 @@
+// Command activenode runs one node of the active architecture over real
+// TCP. The first node creates the overlay; later nodes join via a
+// bootstrap peer:
+//
+//	activenode -listen 127.0.0.1:7701 -name seed -region eu
+//	activenode -listen 127.0.0.1:7702 -name n2 -region us \
+//	    -bootstrap <seed-id>@127.0.0.1:7701
+//
+// Each node prints its identifier at startup; drive it with glossctl.
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"github.com/gloss/active/internal/core"
+	"github.com/gloss/active/internal/gateway"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/transport"
+	"github.com/gloss/active/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "activenode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		name      = flag.String("name", "", "node name (derives the node ID; default random)")
+		region    = flag.String("region", "eu", "region label")
+		x         = flag.Float64("x", 0, "x coordinate (km)")
+		y         = flag.Float64("y", 0, "y coordinate (km)")
+		bootstrap = flag.String("bootstrap", "", "bootstrap peer as <id-hex>@<host:port>; empty creates a new overlay")
+		secret    = flag.String("secret", "gloss-active-secret", "capability secret shared by the deployment")
+		verbose   = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.DiscardHandler)
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	var id ids.ID
+	if *name != "" {
+		id = ids.FromString(*name)
+	} else {
+		id = ids.FromString(fmt.Sprintf("node-%d", time.Now().UnixNano()))
+	}
+
+	reg := wire.NewRegistry()
+	core.RegisterMessages(reg)
+	transport.RegisterMessages(reg)
+	gateway.RegisterMessages(reg)
+
+	ep, err := transport.Listen(id, reg, transport.Options{
+		Listen: *listen,
+		Region: *region,
+		Coord:  netapi.Coord{X: *x, Y: *y},
+		Seed:   time.Now().UnixNano(),
+		Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ep.Close() }()
+
+	node := core.NewActiveNode(ep, reg, core.NodeConfig{
+		Secret:         []byte(*secret),
+		AdvertInterval: -1, // advertising needs a broker mesh; single-node CLI keeps quiet
+	})
+	gateway.Serve(node)
+
+	fmt.Printf("node id:   %s\n", node.ID())
+	fmt.Printf("listening: %s\n", ep.Addr())
+	fmt.Printf("region:    %s\n", *region)
+
+	// Protocol state belongs to the node's actor loop; marshal the
+	// bootstrap calls onto it.
+	if *bootstrap == "" {
+		ep.Do(node.Overlay.CreateNetwork)
+		fmt.Println("overlay:   created new network")
+	} else {
+		peerID, addr, err := parsePeer(*bootstrap)
+		if err != nil {
+			return err
+		}
+		ep.AddPeer(peerID, addr)
+		done := make(chan error, 1)
+		ep.Do(func() {
+			node.Overlay.Join(peerID, func(err error) { done <- err })
+		})
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("join: %w", err)
+			}
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("join: no response from bootstrap")
+		}
+		fmt.Printf("overlay:   joined via %s\n", peerID.Short())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return nil
+}
+
+// parsePeer splits "<id-hex>@<addr>".
+func parsePeer(s string) (ids.ID, string, error) {
+	at := strings.LastIndex(s, "@")
+	if at <= 0 || at == len(s)-1 {
+		return ids.Zero, "", fmt.Errorf("bad peer %q, want <id-hex>@<host:port>", s)
+	}
+	id, err := ids.Parse(s[:at])
+	if err != nil {
+		return ids.Zero, "", err
+	}
+	return id, s[at+1:], nil
+}

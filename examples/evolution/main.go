@@ -1,0 +1,110 @@
+// Self-repair under churn (§4.4, Figure 3): a placement constraint —
+// "at least 3 replicator components in the eu region" — is enforced by
+// the evolution engine. Nodes crash and leave gracefully; the monitoring
+// engine publishes departure events on behalf of the dead; the evolution
+// engine re-deploys code bundles until the constraint holds again.
+//
+//	go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"time"
+
+	active "github.com/gloss/active"
+	"github.com/gloss/active/internal/constraint"
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/evolve"
+	"github.com/gloss/active/internal/pubsub"
+)
+
+func main() {
+	world, err := active.NewWorld(active.WorldConfig{Seed: 11, Nodes: 12})
+	if err != nil {
+		panic(err)
+	}
+	tell := func(format string, args ...any) {
+		fmt.Printf("[t=%4.0fs] ", world.Sim.Now().Seconds())
+		fmt.Printf(format+"\n", args...)
+	}
+
+	// Self-heal the event-service topology too: without keepers, killing
+	// a broker would cut its whole subtree off the bus.
+	world.StartBrokerKeepers(2 * time.Second)
+
+	host := world.Node(0)
+	eng := evolve.NewEngine(host.Endpoint(), host.Client, evolve.EngineOptions{
+		Constraints: constraint.NewSet(
+			&constraint.MinInstances{Program: "replicator", Region: "eu", N: 3},
+		),
+		MakeBundle: world.BundleMaker(nil),
+	})
+	mon := evolve.NewMonitor(host.Endpoint(), host.Client, 2*time.Second, 3)
+	eng.Start()
+	mon.Start()
+
+	// Narrate the evolution machinery's event streams.
+	host.Client.Subscribe(pubsub.NewFilter(pubsub.TypeIs(evolve.TypeDown)), func(ev *event.Event) {
+		tell("⚠ monitor reports node %.8s down (on its behalf)", ev.GetString("node"))
+	})
+	host.Client.Subscribe(pubsub.NewFilter(pubsub.TypeIs(evolve.TypeLeaving)), func(ev *event.Event) {
+		tell("👋 node %.8s announces graceful withdrawal", ev.GetString("node"))
+	})
+
+	count := func() int {
+		n := 0
+		for _, i := range world.NodesInRegion("eu") {
+			n += len(world.Node(i).Server.Domains())
+		}
+		return n
+	}
+
+	world.RunFor(20 * time.Second)
+	tell("constraint satisfied: %d replicators in eu (deploys ok: %d)",
+		count(), eng.Stats().DeploysOK)
+
+	// Crash a replicator host.
+	var victim int
+	for _, i := range world.NodesInRegion("eu") {
+		if i != 0 && len(world.Node(i).Server.Domains()) > 0 {
+			victim = i
+			break
+		}
+	}
+	tell("💥 crashing node %.8s (hosts a replicator)", world.Node(victim).ID().String())
+	world.Sim.Node(world.Node(victim).ID()).Kill()
+	world.RunFor(30 * time.Second)
+	live := 0
+	for _, i := range world.NodesInRegion("eu") {
+		if world.Sim.Node(world.Node(i).ID()).Alive() {
+			live += len(world.Node(i).Server.Domains())
+		}
+	}
+	tell("healed: %d live replicators in eu (repairs recorded: %d, mean %v)",
+		live, eng.RepairTimes.Count(), eng.RepairTimes.Mean())
+
+	// Graceful departure: the node warns first, repair starts immediately.
+	var leaver int
+	for _, i := range world.NodesInRegion("eu") {
+		if i != 0 && i != victim && len(world.Node(i).Server.Domains()) > 0 {
+			leaver = i
+			break
+		}
+	}
+	tell("node %.8s will leave gracefully", world.Node(leaver).ID().String())
+	world.Node(leaver).Advertiser.Leave()
+	world.RunFor(2 * time.Second)
+	world.Sim.Node(world.Node(leaver).ID()).Kill()
+	world.RunFor(30 * time.Second)
+
+	live = 0
+	for _, i := range world.NodesInRegion("eu") {
+		if world.Sim.Node(world.Node(i).ID()).Alive() {
+			live += len(world.Node(i).Server.Domains())
+		}
+	}
+	st := eng.Stats()
+	tell("final: %d live replicators; deploys ok=%d failed=%d; violations seen=%d repaired=%d",
+		live, st.DeploysOK, st.DeploysFailed, st.ViolationsSeen, st.Repaired)
+	fmt.Println("done")
+}

@@ -1,0 +1,128 @@
+// The paper's §1.1 scenario, end to end with simulated hardware: Bob and
+// Anna carry GPS sensors, a thermometer reports South Street's weather, an
+// RFID reader watches Janetta's doorway, and the matching engine infers
+// that the two friends should meet for an ice cream while the shop is
+// still open.
+//
+//	go run ./examples/icecream
+package main
+
+import (
+	"fmt"
+	"time"
+
+	active "github.com/gloss/active"
+	"github.com/gloss/active/internal/core"
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/sensors"
+)
+
+func main() {
+	world, err := active.NewWorld(active.WorldConfig{Seed: 25, Nodes: 9})
+	if err != nil {
+		panic(err)
+	}
+	world.RunFor(active.ScenarioStart - world.Sim.Now())
+	tell := func(format string, args ...any) {
+		t := world.Sim.Now() % (24 * time.Hour)
+		fmt.Printf("[%02d:%02d] ", int(t.Hours()), int(t.Minutes())%60)
+		fmt.Printf(format+"\n", args...)
+	}
+
+	if _, err := world.DeployService(active.IceCreamService(2, "eu"), 0); err != nil {
+		panic(err)
+	}
+	world.RunFor(20 * time.Second)
+	tell("service deployed; Janetta's opens 9:00–17:00 and sells ice cream")
+
+	// Bob's and Anna's devices.
+	for _, who := range []string{"bob", "anna"} {
+		who := who
+		world.Node(1).Client.Subscribe(
+			active.NewFilter(active.TypeIs("suggestion.meet"), active.Eq("user", active.S(who))),
+			func(ev *active.Event) {
+				tell("📨 %s's device: meet %s at %s for %s",
+					who, ev.GetString("friend"), ev.GetString("place"), ev.GetString("reason"))
+			})
+	}
+
+	// Hardware, wrapped as pipeline sources (§4.2): GPS per user, a
+	// thermometer, and an RFID reader at the shop door.
+	host := world.Node(world.NodesInRegion("eu")[0])
+	clock := host.Endpoint().Clock()
+	publish := publisher{host}
+
+	bobGPS := sensors.NewGPS(sensors.GPSConfig{
+		User: "bob", Start: active.Coord{X: 10.00, Y: 4.20}, // far end of town
+		SpeedKmH: 5, Interval: 30 * time.Second, Seed: 1,
+	}, clock)
+	bobGPS.ConnectTo(publish)
+	bobGPS.Start()
+
+	annaGPS := sensors.NewGPS(sensors.GPSConfig{
+		User: "anna", Start: active.Coord{X: 10.25, Y: 3.95}, // already nearby
+		SpeedKmH: 4, Interval: 30 * time.Second, Seed: 2,
+	}, clock)
+	annaGPS.Pause() // Anna lingers at her coordinate (56.3397, -2.80753 in the paper)
+	annaGPS.ConnectTo(publish)
+	annaGPS.Start()
+
+	thermo := sensors.NewThermometer(sensors.ThermometerConfig{
+		Region: "eu", BaseC: 19, AmpC: 5, Interval: 2 * time.Minute, Seed: 3,
+	}, clock)
+	thermo.ConnectTo(publish)
+	thermo.Start()
+
+	oracle := func(user string) (active.Coord, bool) {
+		switch user {
+		case "bob":
+			return bobGPS.Position(), true
+		case "anna":
+			return annaGPS.Position(), true
+		}
+		return active.Coord{}, false
+	}
+	rfid := sensors.NewRFIDReader(sensors.RFIDConfig{
+		Name: "janettas-door", At: active.Coord{X: 10.30, Y: 4.00},
+		RadiusKm: 0.06, Interval: 15 * time.Second, Users: []string{"bob", "anna"},
+	}, oracle, clock)
+	rfid.ConnectTo(printer{world, "🚪 rfid"})
+	rfid.Start()
+
+	tell("Bob sets off toward North Street; Anna is already near Market Street")
+	bobGPS.MoveTo(active.Coord{X: 10.20, Y: 4.05}) // North Street
+	for minute := 0; minute < 12; minute++ {
+		world.RunFor(time.Minute)
+	}
+	tell("Bob is in North Street at (%.2f, %.2f); it is %.1f°C",
+		bobGPS.Position().X, bobGPS.Position().Y, thermo.TempAt(world.Sim.Now()))
+	world.RunFor(5 * time.Minute)
+
+	tell("walking on: Bob drops by the shop itself")
+	bobGPS.MoveTo(active.Coord{X: 10.30, Y: 4.00})
+	world.RunFor(10 * time.Minute)
+	fmt.Println("done")
+}
+
+// publisher pushes sensor events onto the node's event bus.
+type publisher struct{ n *core.ActiveNode }
+
+func (p publisher) Name() string        { return "bus" }
+func (p publisher) Put(ev *event.Event) { p.n.Client.Publish(ev) }
+
+// printer narrates RFID reads.
+type printer struct {
+	w     *core.World
+	label string
+}
+
+func (p printer) Name() string { return p.label }
+func (p printer) Put(ev *event.Event) {
+	t := p.w.Sim.Now() % (24 * time.Hour)
+	verb := "left"
+	if ev.Attrs["enter"].B {
+		verb = "entered"
+	}
+	fmt.Printf("[%02d:%02d] %s: %s %s range of %s\n", int(t.Hours()), int(t.Minutes())%60,
+		p.label, ev.GetString("user"), verb, ev.GetString("reader"))
+}

@@ -1,0 +1,159 @@
+// Package bundle implements the paper's Cingal-style code-push technology
+// (§3, §4.3): "bundles of code and data wrapped in XML packets to be
+// deployed and run on a thin server. On arrival at a thin server, and
+// subject to verification and security checks, the code may be executed
+// within a security domain. Each thin server provides the necessary
+// infrastructure for code deployment, authentication of bundles, a
+// capability-based protection system and an object store."
+//
+// Go cannot load native code at runtime, so a bundle's "code" is a program
+// name resolved against a capability-checked registry of factories plus
+// XML parameters and an opaque data payload (see DESIGN.md §2 for why this
+// substitution preserves the architecture's behaviour: late binding of
+// behaviour to nodes, with verification, protection and discovery of
+// previously unknown programs fetched from the P2P store).
+package bundle
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/xml"
+	"fmt"
+
+	"github.com/gloss/active/internal/wire"
+)
+
+// Right names a privilege a bundle may hold on a thin server.
+type Right string
+
+// Rights checked by thin servers.
+const (
+	// RightDeploy allows installing the bundle at all.
+	RightDeploy Right = "deploy"
+	// RightStore allows use of the domain object store.
+	RightStore Right = "store"
+	// RightEmit allows the program to publish events to the host.
+	RightEmit Right = "emit"
+)
+
+// Capability is an unforgeable token minted with the thin server's secret:
+// HMAC-SHA256(secret, right ‖ nonce). Possession proves authorisation.
+type Capability struct {
+	Right Right      `xml:"right,attr"`
+	Nonce uint64     `xml:"nonce,attr"`
+	MAC   wire.Bytes `xml:"mac"`
+}
+
+// MintCapability creates a capability valid on servers sharing secret.
+func MintCapability(secret []byte, right Right, nonce uint64) Capability {
+	return Capability{Right: right, Nonce: nonce, MAC: capMAC(secret, right, nonce)}
+}
+
+func capMAC(secret []byte, right Right, nonce uint64) []byte {
+	mac := hmac.New(sha256.New, secret)
+	fmt.Fprintf(mac, "%s|%d", right, nonce)
+	return mac.Sum(nil)
+}
+
+// Valid reports whether the capability was minted with secret.
+func (c Capability) Valid(secret []byte) bool {
+	return hmac.Equal(c.MAC, capMAC(secret, c.Right, c.Nonce))
+}
+
+// Param is one configuration key/value pair for a program.
+type Param struct {
+	Key   string `xml:"k,attr"`
+	Value string `xml:"v,attr"`
+}
+
+// Bundle is the unit of code+data deployment.
+type Bundle struct {
+	XMLName xml.Name `xml:"bundle"`
+	// Name identifies the installation (domain name on the server).
+	Name string `xml:"name,attr"`
+	// Program names the factory in the server's registry.
+	Program string `xml:"program,attr"`
+	// Params configure the program instance.
+	Params []Param `xml:"param"`
+	// Data is an opaque payload handed to the program (e.g. a rule spec).
+	Data wire.Bytes `xml:"data,omitempty"`
+	// Capabilities authorise the bundle's actions on the server.
+	Capabilities []Capability `xml:"capability"`
+	// PublicKey is the signer's ed25519 key.
+	PublicKey wire.Bytes `xml:"pubkey"`
+	// Signature is ed25519 over the canonical bundle bytes.
+	Signature wire.Bytes `xml:"sig,omitempty"`
+}
+
+// ParamMap returns the parameters as a map (later duplicates win).
+func (b *Bundle) ParamMap() map[string]string {
+	m := make(map[string]string, len(b.Params))
+	for _, p := range b.Params {
+		m[p.Key] = p.Value
+	}
+	return m
+}
+
+// HasCapability reports whether the bundle carries a capability for right
+// valid under the given secret.
+func (b *Bundle) HasCapability(secret []byte, right Right) bool {
+	for _, c := range b.Capabilities {
+		if c.Right == right && c.Valid(secret) {
+			return true
+		}
+	}
+	return false
+}
+
+// signingBytes returns the canonical byte form covered by the signature.
+func (b *Bundle) signingBytes() ([]byte, error) {
+	clone := *b
+	clone.Signature = nil
+	var buf bytes.Buffer
+	if err := xml.NewEncoder(&buf).Encode(&clone); err != nil {
+		return nil, fmt.Errorf("bundle: canonicalise: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Sign stamps the bundle with the signer's key pair.
+func (b *Bundle) Sign(pub ed25519.PublicKey, priv ed25519.PrivateKey) error {
+	b.PublicKey = wire.Bytes(pub)
+	data, err := b.signingBytes()
+	if err != nil {
+		return err
+	}
+	b.Signature = ed25519.Sign(priv, data)
+	return nil
+}
+
+// Verify checks the signature against the embedded public key.
+func (b *Bundle) Verify() error {
+	if len(b.PublicKey) != ed25519.PublicKeySize {
+		return fmt.Errorf("bundle: bad public key length %d", len(b.PublicKey))
+	}
+	data, err := b.signingBytes()
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(ed25519.PublicKey(b.PublicKey), data, b.Signature) {
+		return fmt.Errorf("bundle: signature verification failed for %q", b.Name)
+	}
+	return nil
+}
+
+// Marshal serialises a bundle to its XML packet form.
+func Marshal(b *Bundle) ([]byte, error) {
+	return xml.Marshal(b)
+}
+
+// Unmarshal parses an XML bundle packet.
+func Unmarshal(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := xml.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bundle: parse: %w", err)
+	}
+	return &b, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/bundle"
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/match"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/pubsub"
+)
+
+// TestStandardPrograms installs each built-in bundle program and checks
+// its observable effect.
+func TestStandardPrograms(t *testing.T) {
+	w := testWorld(t, 21, 6, NodeConfig{})
+	node := w.Node(2)
+
+	// storelet + replicator markers bump capacity gauges.
+	for _, prog := range []string{"storelet", "replicator"} {
+		b, err := w.Mint(prog+"/cap", prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := node.Server.Install(b); err != nil {
+			t.Fatalf("install %s: %v", prog, err)
+		}
+	}
+	if node.Gauges.Counter("storelets").Value() != 1 {
+		t.Fatal("storelet marker not counted")
+	}
+	if node.Gauges.Counter("replicators").Value() != 1 {
+		t.Fatal("replicator marker not counted")
+	}
+
+	// probe publishes meta.gauges events onto the bus.
+	var metas []*event.Event
+	w.Node(1).Client.Subscribe(pubsub.NewFilter(pubsub.TypeIs("meta.gauges")),
+		func(ev *event.Event) { metas = append(metas, ev) })
+	w.RunFor(2 * time.Second)
+	pb, err := w.Mint("probe/x", "probe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.Params = append(pb.Params, bundle.Param{Key: "intervalMs", Value: "2000"})
+	// Re-sign after mutation.
+	if err := pb.Sign(w.Pub, w.Priv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Server.Install(pb); err != nil {
+		t.Fatalf("install probe: %v", err)
+	}
+	w.RunFor(10 * time.Second)
+	if len(metas) == 0 {
+		t.Fatal("probe published nothing")
+	}
+	if v, ok := metas[len(metas)-1].Get("counter.storelets"); !ok || v.I != 1 {
+		t.Fatalf("probe snapshot missing storelet gauge: %+v", metas[0].Attrs)
+	}
+
+	// Logical program names strip instance suffixes.
+	logical := node.Server.LogicalPrograms()
+	want := map[string]bool{"storelet/cap": true, "replicator/cap": true, "probe/x": true}
+	for _, l := range logical {
+		if !want[l] {
+			t.Fatalf("unexpected logical program %q in %v", l, logical)
+		}
+	}
+
+	// Uninstall stops the probe (drain in-flight deliveries first).
+	if err := node.Server.Uninstall("probe/x#3"); err != nil {
+		t.Fatalf("uninstall: %v", err)
+	}
+	w.RunFor(3 * time.Second)
+	n := len(metas)
+	w.RunFor(10 * time.Second)
+	if len(metas) != n {
+		t.Fatal("probe kept publishing after uninstall")
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	w := testWorld(t, 22, 3, NodeConfig{})
+	if got := w.RegionOf(netapi.Coord{X: 10, Y: 10}); got != "eu" {
+		t.Fatalf("RegionOf(eu-ish) = %q", got)
+	}
+	if got := w.RegionOf(netapi.Coord{X: 7100, Y: 900}); got != "us" {
+		t.Fatalf("RegionOf(us-ish) = %q", got)
+	}
+	if got := w.RegionOf(netapi.Coord{X: 15500, Y: -2100}); got != "ap" {
+		t.Fatalf("RegionOf(ap-ish) = %q", got)
+	}
+}
+
+// TestDeployServiceWithDirectory exercises the PublishDirectory path: the
+// rule's bundle lands in the store under its trigger event type.
+func TestDeployServiceWithDirectory(t *testing.T) {
+	w := testWorld(t, 23, 8, NodeConfig{EnableDiscovery: true})
+	desc := IceCreamService(1, "")
+	desc.PublishDirectory = true
+	if _, err := w.DeployService(desc, 0); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(15 * time.Second)
+	// The directory object must be fetchable.
+	var data []byte
+	w.Node(5).Store.Get(match.MatchletKey("gps.location"), func(d []byte, err error) {
+		if err != nil {
+			t.Errorf("directory fetch: %v", err)
+		}
+		data = d
+	})
+	w.RunFor(10 * time.Second)
+	if len(data) == 0 {
+		t.Fatal("matchlet directory entry missing")
+	}
+}

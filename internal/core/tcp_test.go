@@ -1,0 +1,175 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/match"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/transport"
+	"github.com/gloss/active/internal/wire"
+)
+
+// TestActiveNodeOverTCP boots three full active nodes over real sockets:
+// overlay join, broker chain, pub/sub delivery, store round trip and a
+// matchlet deployed via a signed bundle — the whole stack, no simulator.
+func TestActiveNodeOverTCP(t *testing.T) {
+	reg := wire.NewRegistry()
+	RegisterMessages(reg)
+	transport.RegisterMessages(reg)
+
+	secret := []byte("tcp-test-secret")
+	cfg := NodeConfig{
+		Secret:         secret,
+		AdvertInterval: -1, // keep the wire quiet; no evolution engine here
+	}
+	names := []string{"tcp-core-a", "tcp-core-b", "tcp-core-c"}
+	nodes := make([]*ActiveNode, len(names))
+	eps := make([]*transport.Node, len(names))
+	for i, name := range names {
+		ep, err := transport.Listen(ids.FromString(name), reg, transport.Options{
+			Region: "eu", Seed: int64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("listen %s: %v", name, err)
+		}
+		t.Cleanup(func() { _ = ep.Close() })
+		eps[i] = ep
+		nodes[i] = NewActiveNode(ep, reg, cfg)
+	}
+	// Full address books.
+	for i := range eps {
+		for j := range eps {
+			if i != j {
+				eps[i].AddPeer(eps[j].ID(), eps[j].Addr())
+			}
+		}
+	}
+	// Broker chain a—b—c.
+	pubsub.ConnectBrokers(nodes[0].Broker, nodes[1].Broker)
+	pubsub.ConnectBrokers(nodes[1].Broker, nodes[2].Broker)
+
+	// Overlay join. All protocol calls go through the actor loop (Do).
+	eps[0].Do(nodes[0].Overlay.CreateNetwork)
+	for i := 1; i < len(nodes); i++ {
+		i := i
+		done := make(chan error, 1)
+		eps[i].Do(func() {
+			nodes[i].Overlay.Join(nodes[0].ID(), func(err error) { done <- err })
+		})
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("join %d: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("join %d stuck", i)
+		}
+	}
+
+	// Pub/sub across the chain.
+	gotEvent := make(chan *event.Event, 4)
+	eps[2].Do(func() {
+		nodes[2].Client.Subscribe(pubsub.NewFilter(pubsub.TypeIs("tcp.test")),
+			func(ev *event.Event) { gotEvent <- ev })
+	})
+	time.Sleep(300 * time.Millisecond) // subscription propagation over sockets
+	eps[0].Do(func() {
+		nodes[0].Client.Publish(event.New("tcp.test", "a", 0).Set("n", event.I(9)).Stamp(1))
+	})
+	select {
+	case ev := <-gotEvent:
+		if ev.GetNum("n") != 9 {
+			t.Fatalf("event content: %+v", ev.Attrs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pub/sub delivery over TCP failed")
+	}
+
+	// Store round trip.
+	putDone := make(chan error, 1)
+	guidCh := make(chan ids.ID, 1)
+	eps[1].Do(func() {
+		nodes[1].Store.Put([]byte("tcp payload"), func(g ids.ID, err error) {
+			guidCh <- g
+			putDone <- err
+		})
+	})
+	select {
+	case err := <-putDone:
+		if err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("put stuck")
+	}
+	guid := <-guidCh
+	getDone := make(chan []byte, 1)
+	eps[2].Do(func() {
+		nodes[2].Store.Get(guid, func(d []byte, err error) {
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+			getDone <- d
+		})
+	})
+	select {
+	case d := <-getDone:
+		if string(d) != "tcp payload" {
+			t.Fatalf("content: %q", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("get stuck")
+	}
+
+	// Matchlet deployment via signed bundle, then check registration.
+	rule := IceCreamRule()
+	payload, err := marshalRuleForTest(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MintBundle(secret, testPub(t), testPriv(t), "matchlet/tcp", "matchlet", 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installed := make(chan error, 1)
+	logical := make(chan []string, 1)
+	eps[2].Do(func() {
+		_, err := nodes[2].Server.Install(b)
+		installed <- err
+		logical <- nodes[2].Server.LogicalPrograms()
+	})
+	if err := <-installed; err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if got := <-logical; len(got) != 1 || got[0] != "matchlet/tcp" {
+		t.Fatalf("logical programs: %v", got)
+	}
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func marshalRuleForTest(r *match.Rule) ([]byte, error) { return match.MarshalRule(r) }
+
+// deterministic test key pair.
+func testKeyPair() (ed25519.PublicKey, ed25519.PrivateKey) {
+	seed := make([]byte, ed25519.SeedSize)
+	copy(seed, []byte("core-tcp-test-key-seed-32-bytes!"))
+	priv := ed25519.NewKeyFromSeed(seed)
+	return priv.Public().(ed25519.PublicKey), priv
+}
+
+func testPub(t *testing.T) ed25519.PublicKey {
+	t.Helper()
+	pub, _ := testKeyPair()
+	return pub
+}
+
+func testPriv(t *testing.T) ed25519.PrivateKey {
+	t.Helper()
+	_, priv := testKeyPair()
+	return priv
+}

@@ -1,0 +1,256 @@
+// Package erasure implements Reed-Solomon erasure coding over GF(256),
+// the replication alternative the paper attributes to the more
+// sophisticated P2P storage systems (§3): "erasure-codes … permit data to
+// be reconstituted from a subset of the servers on which it is stored".
+//
+// The code is a non-systematic Vandermonde code: an object split into
+// Data source shards is expanded to Data+Parity fragments, any Data of
+// which reconstruct the original.
+package erasure
+
+import (
+	"fmt"
+)
+
+// gfPoly is the AES field polynomial x^8+x^4+x^3+x+1.
+const gfPoly = 0x11d
+
+// log/exp tables for GF(256) arithmetic.
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+// initTables fills the log/exp tables. Called lazily from NewCode so the
+// package has no init() (per the style guide); the work is idempotent.
+var tablesReady bool
+
+func initTables() {
+	if tablesReady {
+		return
+	}
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	tablesReady = true
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfPow returns x^n in GF(256).
+func gfPow(x byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if x == 0 {
+		return 0
+	}
+	l := (int(gfLog[x]) * n) % 255
+	return gfExp[l]
+}
+
+// Fragment is one coded shard of an object.
+type Fragment struct {
+	// Index identifies the code row (0 ≤ Index < Data+Parity).
+	Index int
+	// OrigLen is the length of the original object in bytes.
+	OrigLen int
+	// Shard holds ceil(OrigLen/Data) coded bytes.
+	Shard []byte
+}
+
+// Code is a Reed-Solomon coder with fixed parameters.
+type Code struct {
+	data   int // m: source shards
+	parity int // r: redundant shards
+}
+
+// NewCode returns a coder producing data+parity fragments, any data of
+// which reconstruct the object. Constraints: data ≥ 1, parity ≥ 0,
+// data+parity ≤ 255.
+func NewCode(data, parity int) (*Code, error) {
+	if data < 1 || parity < 0 || data+parity > 255 {
+		return nil, fmt.Errorf("erasure: invalid parameters data=%d parity=%d", data, parity)
+	}
+	initTables()
+	return &Code{data: data, parity: parity}, nil
+}
+
+// Total returns the number of fragments produced.
+func (c *Code) Total() int { return c.data + c.parity }
+
+// Data returns the number of fragments required to reconstruct.
+func (c *Code) Data() int { return c.data }
+
+// Encode splits content into fragments. The content is padded to a
+// multiple of the shard size internally; OrigLen preserves the true size.
+func (c *Code) Encode(content []byte) []Fragment {
+	shardLen := (len(content) + c.data - 1) / c.data
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	// Source shards, zero-padded.
+	src := make([][]byte, c.data)
+	for i := range src {
+		src[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(content) {
+			copy(src[i], content[start:])
+		}
+	}
+	out := make([]Fragment, c.Total())
+	for row := 0; row < c.Total(); row++ {
+		shard := make([]byte, shardLen)
+		// Row coefficients: x^j with x = row (Vandermonde).
+		for j := 0; j < c.data; j++ {
+			coef := gfPow(byte(row), j)
+			if coef == 0 {
+				continue
+			}
+			s := src[j]
+			for k := 0; k < shardLen; k++ {
+				shard[k] ^= gfMul(coef, s[k])
+			}
+		}
+		out[row] = Fragment{Index: row, OrigLen: len(content), Shard: shard}
+	}
+	return out
+}
+
+// Decode reconstructs the original content from any c.Data() distinct
+// fragments.
+func (c *Code) Decode(frags []Fragment) ([]byte, error) {
+	if len(frags) < c.data {
+		return nil, fmt.Errorf("erasure: need %d fragments, have %d", c.data, len(frags))
+	}
+	// Select the first c.data distinct indices.
+	chosen := make([]Fragment, 0, c.data)
+	seen := make(map[int]bool, c.data)
+	origLen := -1
+	shardLen := -1
+	for _, f := range frags {
+		if seen[f.Index] {
+			continue
+		}
+		if f.Index < 0 || f.Index >= c.Total() {
+			return nil, fmt.Errorf("erasure: fragment index %d out of range", f.Index)
+		}
+		if origLen == -1 {
+			origLen = f.OrigLen
+			shardLen = len(f.Shard)
+		} else if f.OrigLen != origLen || len(f.Shard) != shardLen {
+			return nil, fmt.Errorf("erasure: inconsistent fragment geometry")
+		}
+		seen[f.Index] = true
+		chosen = append(chosen, f)
+		if len(chosen) == c.data {
+			break
+		}
+	}
+	if len(chosen) < c.data {
+		return nil, fmt.Errorf("erasure: need %d distinct fragments, have %d", c.data, len(chosen))
+	}
+	// Build the m×m Vandermonde submatrix for the chosen rows and invert.
+	m := c.data
+	mat := make([][]byte, m)
+	for i, f := range chosen {
+		mat[i] = make([]byte, m)
+		for j := 0; j < m; j++ {
+			mat[i][j] = gfPow(byte(f.Index), j)
+		}
+	}
+	inv, err := invert(mat)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruct source shards: src = inv × fragments.
+	content := make([]byte, m*shardLen)
+	for i := 0; i < m; i++ {
+		dst := content[i*shardLen : (i+1)*shardLen]
+		for j := 0; j < m; j++ {
+			coef := inv[i][j]
+			if coef == 0 {
+				continue
+			}
+			s := chosen[j].Shard
+			for k := 0; k < shardLen; k++ {
+				dst[k] ^= gfMul(coef, s[k])
+			}
+		}
+	}
+	if origLen > len(content) {
+		return nil, fmt.Errorf("erasure: original length %d exceeds decoded size %d", origLen, len(content))
+	}
+	return content[:origLen], nil
+}
+
+// invert computes the inverse of a square matrix over GF(256) by
+// Gauss-Jordan elimination.
+func invert(a [][]byte) ([][]byte, error) {
+	n := len(a)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("erasure: singular matrix")
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Normalise pivot row.
+		p := aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] = gfDiv(aug[col][j], p)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] ^= gfMul(f, aug[col][j])
+			}
+		}
+	}
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = aug[i][n:]
+	}
+	return inv, nil
+}

@@ -1,0 +1,189 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldLaws(t *testing.T) {
+	initTables()
+	// Multiplicative identity and commutativity on a sample grid.
+	for a := 0; a < 256; a += 7 {
+		for b := 0; b < 256; b += 11 {
+			x, y := byte(a), byte(b)
+			if gfMul(x, 1) != x {
+				t.Fatalf("a*1 != a for %d", a)
+			}
+			if gfMul(x, y) != gfMul(y, x) {
+				t.Fatalf("mul not commutative at %d,%d", a, b)
+			}
+			if y != 0 {
+				if gfMul(gfDiv(x, y), y) != x {
+					t.Fatalf("(a/b)*b != a at %d,%d", a, b)
+				}
+			}
+		}
+	}
+	// Distributivity sample.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails at %d,%d,%d", a, b, c)
+		}
+	}
+}
+
+func TestEncodeDecodeAllFragments(t *testing.T) {
+	c, err := NewCode(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("the quick brown fox jumps over the lazy dog")
+	frags := c.Encode(content)
+	if len(frags) != 6 {
+		t.Fatalf("fragments = %d, want 6", len(frags))
+	}
+	got, err := c.Decode(frags)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("decode mismatch: %q", got)
+	}
+}
+
+func TestDecodeFromAnySubset(t *testing.T) {
+	c, err := NewCode(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("pervasive contextual services payload 0123456789")
+	frags := c.Encode(content)
+	// All 3-subsets of 6 fragments must reconstruct.
+	n := len(frags)
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				got, err := c.Decode([]Fragment{frags[i], frags[j], frags[k]})
+				if err != nil {
+					t.Fatalf("Decode subset (%d,%d,%d): %v", i, j, k, err)
+				}
+				if !bytes.Equal(got, content) {
+					t.Fatalf("subset (%d,%d,%d) mismatch", i, j, k)
+				}
+				count++
+			}
+		}
+	}
+	if count != 20 {
+		t.Fatalf("checked %d subsets, want 20", count)
+	}
+}
+
+func TestDecodeInsufficientFragments(t *testing.T) {
+	c, _ := NewCode(4, 2)
+	frags := c.Encode([]byte("some data"))
+	if _, err := c.Decode(frags[:3]); err == nil {
+		t.Fatalf("want error with 3 of 4 required fragments")
+	}
+	// Duplicate indices do not count twice.
+	if _, err := c.Decode([]Fragment{frags[0], frags[0], frags[0], frags[0]}); err == nil {
+		t.Fatalf("duplicates must not satisfy the quorum")
+	}
+}
+
+func TestBadParameters(t *testing.T) {
+	for _, p := range [][2]int{{0, 2}, {-1, 0}, {200, 100}} {
+		if _, err := NewCode(p[0], p[1]); err == nil {
+			t.Errorf("NewCode(%d,%d): want error", p[0], p[1])
+		}
+	}
+}
+
+func TestEmptyAndTinyContent(t *testing.T) {
+	c, _ := NewCode(4, 2)
+	for _, content := range [][]byte{{}, {0x42}, []byte("ab")} {
+		frags := c.Encode(content)
+		got, err := c.Decode(frags[2:])
+		if err != nil {
+			t.Fatalf("Decode len=%d: %v", len(content), err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("mismatch for len=%d: %v vs %v", len(content), got, content)
+		}
+	}
+}
+
+func TestFragmentGeometryValidation(t *testing.T) {
+	c, _ := NewCode(2, 1)
+	frags := c.Encode([]byte("hello world"))
+	frags[1].OrigLen = 999999
+	if _, err := c.Decode(frags[:2]); err == nil {
+		t.Fatalf("want geometry error")
+	}
+}
+
+// Property: for random content and random loss patterns leaving ≥ m
+// fragments, decode always reproduces the content.
+func TestQuickReconstruction(t *testing.T) {
+	c, err := NewCode(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	f := func(content []byte, lossMask uint8) bool {
+		frags := c.Encode(content)
+		// Drop up to parity fragments.
+		var kept []Fragment
+		dropped := 0
+		for i, fr := range frags {
+			if dropped < c.parity && lossMask&(1<<uint(i%8)) != 0 {
+				dropped++
+				continue
+			}
+			kept = append(kept, fr)
+		}
+		// Shuffle to prove order independence.
+		rng.Shuffle(len(kept), func(i, j int) { kept[i], kept[j] = kept[j], kept[i] })
+		got, err := c.Decode(kept)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode4KB(b *testing.B) {
+	c, _ := NewCode(4, 2)
+	content := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(content)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(content)
+	}
+	b.SetBytes(4096)
+}
+
+func BenchmarkDecode4KB(b *testing.B) {
+	c, _ := NewCode(4, 2)
+	content := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(content)
+	frags := c.Encode(content)
+	subset := frags[2:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(subset); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(4096)
+}

@@ -1,0 +1,178 @@
+package evolve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gloss/active/internal/constraint"
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/store"
+)
+
+// AnnounceCreated publishes the data.created event that feeds the backup
+// policy — callers announce new personal data right after storing it.
+func AnnounceCreated(client *pubsub.Client, clock interface{ Now() time.Duration },
+	guid ids.ID, region, user string, seq uint64) {
+	ev := event.New(TypeCreated, "store/"+region, clock.Now()).
+		Set("guid", event.S(guid.String())).
+		Set("region", event.S(region)).
+		Set("user", event.S(user)).
+		Stamp(seq)
+	client.Publish(ev)
+}
+
+// BackupPolicy implements §4.6: "a backup policy might seek to replicate
+// data on a geographically remote storage unit as soon as possible after
+// it was created." It subscribes to data.created events and pushes a
+// replica to a node in a different region.
+type BackupPolicy struct {
+	client *pubsub.Client
+	st     *store.Store
+	state  *constraint.State
+	// Pushes counts backup replications requested.
+	Pushes uint64
+	// NoRemote counts events with no usable remote node.
+	NoRemote uint64
+}
+
+// NewBackupPolicy builds the policy; state supplies candidate nodes
+// (typically the evolution engine's state).
+func NewBackupPolicy(client *pubsub.Client, st *store.Store, state *constraint.State) *BackupPolicy {
+	return &BackupPolicy{client: client, st: st, state: state}
+}
+
+// Start subscribes to creation events.
+func (p *BackupPolicy) Start() {
+	p.client.Subscribe(pubsub.NewFilter(pubsub.TypeIs(TypeCreated)), func(ev *event.Event) {
+		guid, err := ids.Parse(ev.GetString("guid"))
+		if err != nil {
+			return
+		}
+		origin := ev.GetString("region")
+		target, ok := p.remoteNode(origin)
+		if !ok {
+			p.NoRemote++
+			return
+		}
+		p.Pushes++
+		p.st.RequestPush(guid, target)
+	})
+}
+
+// remoteNode picks a deterministic live node outside the origin region.
+func (p *BackupPolicy) remoteNode(origin string) (ids.ID, bool) {
+	for _, n := range p.state.Nodes() {
+		if n.Alive && n.Region != origin && n.Region != "" {
+			return n.ID, true
+		}
+	}
+	return ids.Zero, false
+}
+
+// UserDataKey derives the GUID of chunk i of a user's personal data set
+// (profile, history, preferences — the data the latency policy migrates).
+func UserDataKey(user string, chunk int) ids.ID {
+	return ids.FromString(fmt.Sprintf("userdata/%s/%d", user, chunk))
+}
+
+// LatencyPolicy implements §4.6's latency-reduction policy: "seek to
+// replicate progressively more of a user's personal data at storage units
+// geographically close to the user's current location, the longer that
+// the user remained at that location." It watches location events, tracks
+// dwell time per user, and each DwellStep replicates the next chunk of
+// the user's data to a node in the user's current region.
+type LatencyPolicy struct {
+	client *pubsub.Client
+	st     *store.Store
+	state  *constraint.State
+	clock  interface{ Now() time.Duration }
+	// RegionOf maps a position to a region name (host-supplied geography).
+	RegionOf func(netapi.Coord) string
+	// DwellStep is the dwell time per migrated chunk. Default 1m.
+	DwellStep time.Duration
+	// Chunks is the user's data set size in chunks. Default 4.
+	Chunks int
+
+	dwell map[string]*dwellState
+	// Migrations counts chunk replications requested.
+	Migrations uint64
+}
+
+type dwellState struct {
+	region string
+	since  time.Duration
+	pushed int
+}
+
+// NewLatencyPolicy builds the policy.
+func NewLatencyPolicy(client *pubsub.Client, st *store.Store, state *constraint.State,
+	clock interface{ Now() time.Duration }) *LatencyPolicy {
+	return &LatencyPolicy{
+		client:    client,
+		st:        st,
+		state:     state,
+		clock:     clock,
+		RegionOf:  func(netapi.Coord) string { return "" },
+		DwellStep: time.Minute,
+		Chunks:    4,
+		dwell:     make(map[string]*dwellState),
+	}
+}
+
+// Start subscribes to location events.
+func (p *LatencyPolicy) Start() {
+	p.client.Subscribe(pubsub.NewFilter(pubsub.TypeIs("gps.location")), func(ev *event.Event) {
+		p.observe(ev)
+	})
+}
+
+func (p *LatencyPolicy) observe(ev *event.Event) {
+	user := ev.GetString("user")
+	if user == "" {
+		return
+	}
+	pos := netapi.Coord{X: ev.GetNum("x"), Y: ev.GetNum("y")}
+	region := ev.GetString("region")
+	if region == "" {
+		region = p.RegionOf(pos)
+	}
+	if region == "" {
+		return
+	}
+	now := p.clock.Now()
+	d, ok := p.dwell[user]
+	if !ok || d.region != region {
+		p.dwell[user] = &dwellState{region: region, since: now}
+		return
+	}
+	// Progressive migration: chunk k after (k+1) dwell steps.
+	for d.pushed < p.Chunks && now-d.since >= time.Duration(d.pushed+1)*p.DwellStep {
+		target, ok := p.nodeInRegion(region)
+		if !ok {
+			return
+		}
+		p.Migrations++
+		p.st.RequestPush(UserDataKey(user, d.pushed), target)
+		d.pushed++
+	}
+}
+
+// Dwell reports a user's tracked dwell region and migrated chunk count.
+func (p *LatencyPolicy) Dwell(user string) (region string, pushed int, ok bool) {
+	d, found := p.dwell[user]
+	if !found {
+		return "", 0, false
+	}
+	return d.region, d.pushed, true
+}
+
+func (p *LatencyPolicy) nodeInRegion(region string) (ids.ID, bool) {
+	nodes := p.state.AliveInRegion(region)
+	if len(nodes) == 0 {
+		return ids.Zero, false
+	}
+	return nodes[0].ID, true
+}

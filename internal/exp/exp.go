@@ -1,0 +1,134 @@
+// Package exp implements the experiment harness: one runner per table and
+// figure in EXPERIMENTS.md. Each runner builds a deterministic world,
+// drives the workload, and returns a Table with the same rows the
+// documentation reports. Root-level benchmarks (bench_test.go) and
+// cmd/benchtab both call into this package.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result in paper-style row/column form.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes records measurement context (seeds, world sizes).
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Metric returns a named scalar from the table for benchmark reporting:
+// the value at (row, col). Panics on out-of-range — experiment runners
+// and benches are maintained together.
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// ms renders a duration in milliseconds with 2 decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// f2 renders a float with 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f1 renders a float with 1 decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// pct renders a ratio as a percentage.
+func pct(num, den uint64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// meanDur averages a sample of durations.
+func meanDur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// percentileDur returns the p-th percentile (0..100) of a sample.
+func percentileDur(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// All runs every experiment and returns the tables in document order.
+// Quick mode shrinks world sizes for fast runs.
+func All(quick bool) []*Table {
+	return []*Table{
+		F1GlobalMatching(quick),
+		F2Pipelines(quick),
+		F3Deployment(quick),
+		T1PlaxtonRouting(quick),
+		T2ReplicaResilience(quick),
+		T3PromiscuousCaching(quick),
+		T4PubSubScaling(quick),
+		T5MatchThroughput(quick),
+		T6EvolutionRepair(quick),
+		T7PlacementPolicies(quick),
+		T8TypeProjection(quick),
+		T9MobilityHandoff(quick),
+		T10Discovery(quick),
+	}
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gloss/active/internal/core"
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/match"
+	"github.com/gloss/active/internal/plaxton"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/store"
+)
+
+// T10Discovery measures the §5 discovery path: an unknown event type
+// arrives, the discovery matchlet fetches the matching bundle from the
+// storage architecture and installs it; afterwards the type matches like
+// any other.
+func T10Discovery(quick bool) *Table {
+	t := &Table{
+		ID:     "E-T10",
+		Title:  "Discovery matchlets: unknown event types",
+		Header: []string{"trial", "discovery ms", "pre-install matched", "post-install matched", "installs"},
+	}
+	trials := 5
+	if quick {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		w, err := core.NewWorld(core.WorldConfig{
+			Seed:  int64(8000 + trial),
+			Nodes: 8,
+			Node: core.NodeConfig{
+				EnableDiscovery: true,
+				AdvertInterval:  -1,
+				Overlay:         plaxton.Options{HeartbeatInterval: -1},
+				Store:           store.Options{RepairInterval: -1},
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		evType := fmt.Sprintf("novel.reading.%d", trial)
+		rule := &match.Rule{
+			Name:     "novel-" + fmt.Sprint(trial),
+			WindowMs: 60_000,
+			Patterns: []match.Pattern{{
+				Alias:  "n",
+				Filter: pubsub.NewFilter(pubsub.TypeIs(evType)),
+			}},
+			Emit: match.Emit{Type: "alert.novel",
+				Attrs: []match.EmitAttr{{Name: "v", From: "$n.v"}}},
+		}
+		data, err := match.MarshalRule(rule)
+		if err != nil {
+			panic(err)
+		}
+		b, err := w.Mint("matchlet/"+rule.Name, "matchlet", data)
+		if err != nil {
+			panic(err)
+		}
+		match.PublishMatchlet(w.Node(0).Store, evType, b, func(error) {})
+		w.RunFor(5 * time.Second)
+
+		// Node 5 watches the stream; its discovery hook must react.
+		watcher := w.Node(5)
+		watcher.SubscribeMatching(pubsub.NewFilter(pubsub.TypeIs(evType)))
+		alerts := 0
+		watcher.Client.Subscribe(pubsub.NewFilter(pubsub.TypeIs("alert.novel")),
+			func(*event.Event) { alerts++ })
+		w.RunFor(2 * time.Second)
+
+		publish := func(seq uint64) {
+			w.Node(2).Client.Publish(event.New(evType, "sensor", w.Sim.Now()).
+				Set("v", event.I(int64(seq))).Stamp(seq))
+		}
+		start := w.Sim.Now()
+		publish(1)
+		// Poll until the matchlet is installed.
+		var discovered time.Duration
+		for i := 0; i < 200; i++ {
+			w.RunFor(100 * time.Millisecond)
+			if watcher.Discovery.Installed > 0 {
+				discovered = w.Sim.Now() - start
+				break
+			}
+		}
+		pre := alerts
+		for seq := uint64(2); seq <= 6; seq++ {
+			publish(seq)
+			w.RunFor(time.Second)
+		}
+		w.RunFor(5 * time.Second)
+		t.AddRow(fmt.Sprint(trial), ms(discovered), fmt.Sprint(pre),
+			fmt.Sprint(alerts-pre), fmt.Sprint(watcher.Discovery.Installed))
+	}
+	t.Notes = append(t.Notes,
+		"discovery = store lookup of 'matchlet-for/<type>' + verified install; the trigger event itself may match when the lookup is served locally")
+	return t
+}

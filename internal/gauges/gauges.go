@@ -1,0 +1,221 @@
+// Package gauges implements the probes and gauges of §4.6: "data
+// placement monitors will observe meta-data arising from distributed
+// probes and gauges". Counters, gauges and histograms collect local
+// observations; a Probe component periodically publishes them as
+// meta-events so monitors elsewhere can subscribe to them over the event
+// service.
+package gauges
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/vclock"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time measurement.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records a measurement.
+func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+
+// Value returns the last measurement and whether one exists.
+func (g *Gauge) Value() (float64, bool) { return g.v, g.set }
+
+// Histogram aggregates duration observations with fixed power-of-two
+// bucket boundaries (microsecond granularity).
+type Histogram struct {
+	count uint64
+	sum   time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average observation (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Registry is a named collection of instruments.
+type Registry struct {
+	counters map[string]*Counter
+	gaugesM  map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty instrument registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gaugesM:  make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gaugesM[name]
+	if !ok {
+		g = &Gauge{}
+		r.gaugesM[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders all instruments into event attributes, names sorted.
+func (r *Registry) Snapshot() event.Attributes {
+	attrs := make(event.Attributes)
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		attrs["counter."+n] = event.I(int64(r.counters[n].Value()))
+	}
+	names = names[:0]
+	for n := range r.gaugesM {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v, ok := r.gaugesM[n].Value(); ok {
+			attrs["gauge."+n] = event.F(v)
+		}
+	}
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.hists[n]
+		if h.Count() == 0 {
+			continue
+		}
+		attrs["hist."+n+".count"] = event.I(int64(h.Count()))
+		attrs["hist."+n+".meanMs"] = event.F(float64(h.Mean()) / float64(time.Millisecond))
+		attrs["hist."+n+".maxMs"] = event.F(float64(h.Max()) / float64(time.Millisecond))
+	}
+	return attrs
+}
+
+// Probe periodically publishes a registry snapshot as "meta.gauges"
+// events through the supplied emit function.
+type Probe struct {
+	reg      *Registry
+	clock    vclock.Clock
+	interval time.Duration
+	emit     func(*event.Event)
+	source   string
+	seq      uint64
+	stopped  bool
+}
+
+// NewProbe builds a probe; call Start to begin publishing.
+func NewProbe(reg *Registry, clock vclock.Clock, interval time.Duration, source string, emit func(*event.Event)) *Probe {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &Probe{reg: reg, clock: clock, interval: interval, emit: emit, source: source}
+}
+
+// Start begins the publishing loop.
+func (p *Probe) Start() {
+	var tick func()
+	tick = func() {
+		if p.stopped {
+			return
+		}
+		p.publish()
+		p.clock.After(p.interval, tick)
+	}
+	p.clock.After(p.interval, tick)
+}
+
+// Stop halts publication.
+func (p *Probe) Stop() { p.stopped = true }
+
+func (p *Probe) publish() {
+	p.seq++
+	ev := event.New("meta.gauges", p.source, p.clock.Now())
+	for k, v := range p.reg.Snapshot() {
+		ev.Set(k, v)
+	}
+	ev.Set("probe", event.S(p.source))
+	ev.Stamp(p.seq)
+	p.emit(ev)
+}
+
+// FormatTable renders a snapshot as an aligned text table (for cmd tools).
+func FormatTable(attrs event.Attributes) string {
+	names := attrs.Names()
+	out := ""
+	for _, n := range names {
+		out += fmt.Sprintf("%-40s %s\n", n, attrs[n].String())
+	}
+	return out
+}

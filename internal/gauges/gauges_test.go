@@ -1,0 +1,94 @@
+package gauges
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/vclock"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads").Inc()
+	r.Counter("reads").Add(4)
+	if got := r.Counter("reads").Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	r.Gauge("load").Set(0.75)
+	if v, ok := r.Gauge("load").Value(); !ok || v != 0.75 {
+		t.Fatalf("gauge = %v %v", v, ok)
+	}
+	if _, ok := r.Gauge("unset").Value(); ok {
+		t.Fatalf("unset gauge reports a value")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := &Histogram{}
+	if h.Mean() != 0 {
+		t.Fatalf("empty mean nonzero")
+	}
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if h.Count() != 3 || h.Mean() != 20*time.Millisecond {
+		t.Fatalf("count=%d mean=%v", h.Count(), h.Mean())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(1)
+	r.Histogram("lat").Observe(5 * time.Millisecond)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if len(s1) != len(s2) || len(s1) != 6 {
+		t.Fatalf("snapshot sizes: %d vs %d", len(s1), len(s2))
+	}
+	if s1["counter.a"].I != 1 || s1["gauge.z"].F != 1 {
+		t.Fatalf("snapshot content: %+v", s1)
+	}
+	if s1["hist.lat.count"].I != 1 {
+		t.Fatalf("histogram snapshot: %+v", s1)
+	}
+}
+
+func TestProbePublishes(t *testing.T) {
+	sched := vclock.NewScheduler()
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	var got []*event.Event
+	p := NewProbe(r, sched, 5*time.Second, "node-1", func(ev *event.Event) { got = append(got, ev) })
+	p.Start()
+	sched.RunUntil(16 * time.Second)
+	if len(got) != 3 {
+		t.Fatalf("probe events = %d, want 3", len(got))
+	}
+	ev := got[0]
+	if ev.Type != "meta.gauges" || ev.GetString("probe") != "node-1" {
+		t.Fatalf("event shape: %+v", ev)
+	}
+	if v, ok := ev.Get("counter.x"); !ok || v.I != 1 {
+		t.Fatalf("counter not in event: %+v", ev.Attrs)
+	}
+	p.Stop()
+	sched.RunFor(time.Minute)
+	if len(got) != 3 {
+		t.Fatalf("probe kept publishing after stop")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(7)
+	out := FormatTable(r.Snapshot())
+	if out == "" || out[0] == ' ' {
+		t.Fatalf("table: %q", out)
+	}
+}

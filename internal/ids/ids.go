@@ -1,0 +1,196 @@
+// Package ids provides 128-bit identifiers used throughout the active
+// architecture: node identifiers for the structured overlay, GUIDs for
+// stored objects, and event identifiers.
+//
+// Identifiers are interpreted as unsigned 128-bit integers on a circular
+// ring (mod 2^128), and as strings of 32 hexadecimal digits for
+// Plaxton-style prefix routing (digit base b = 4 bits).
+package ids
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+)
+
+// Size is the identifier length in bytes.
+const Size = 16
+
+// Digits is the number of base-16 digits in an identifier.
+const Digits = 2 * Size
+
+// ID is a 128-bit identifier: a point on the ring [0, 2^128).
+type ID [Size]byte
+
+// Zero is the all-zero identifier.
+var Zero ID
+
+// FromBytes derives an ID from arbitrary content using SHA-256,
+// truncated to 128 bits. This is how object GUIDs are derived from
+// document content, per the paper's "secure hashes" scheme.
+func FromBytes(content []byte) ID {
+	sum := sha256.Sum256(content)
+	var id ID
+	copy(id[:], sum[:Size])
+	return id
+}
+
+// FromString derives an ID from a string key (e.g. "matchlet-for:gps.location").
+func FromString(s string) ID { return FromBytes([]byte(s)) }
+
+// Random returns a uniformly random ID drawn from rng.
+func Random(rng *rand.Rand) ID {
+	var id ID
+	// rand.Rand.Read never returns an error.
+	_, _ = rng.Read(id[:])
+	return id
+}
+
+// Parse decodes a 32-hex-digit string into an ID.
+func Parse(s string) (ID, error) {
+	var id ID
+	if len(s) != Digits {
+		return id, fmt.Errorf("ids: parse %q: want %d hex digits, got %d", s, Digits, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("ids: parse %q: %w", s, err)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests and constants.
+func MustParse(s string) ID {
+	id, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// String returns the 32-digit lowercase hex form.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Short returns the first 8 hex digits, for logs.
+func (id ID) Short() string { return hex.EncodeToString(id[:4]) }
+
+// IsZero reports whether the ID is all zero.
+func (id ID) IsZero() bool { return id == Zero }
+
+// Digit returns the i-th base-16 digit (0 = most significant).
+func (id ID) Digit(i int) byte {
+	b := id[i/2]
+	if i%2 == 0 {
+		return b >> 4
+	}
+	return b & 0x0f
+}
+
+// WithDigit returns a copy of id with the i-th hex digit set to d.
+func (id ID) WithDigit(i int, d byte) ID {
+	out := id
+	if i%2 == 0 {
+		out[i/2] = (out[i/2] & 0x0f) | (d << 4)
+	} else {
+		out[i/2] = (out[i/2] & 0xf0) | (d & 0x0f)
+	}
+	return out
+}
+
+// CommonPrefixLen returns the number of leading hex digits shared by a and b.
+func CommonPrefixLen(a, b ID) int {
+	for i := 0; i < Size; i++ {
+		x := a[i] ^ b[i]
+		if x == 0 {
+			continue
+		}
+		if x&0xf0 != 0 {
+			return 2 * i
+		}
+		return 2*i + 1
+	}
+	return Digits
+}
+
+// Cmp compares a and b as unsigned 128-bit integers:
+// -1 if a < b, 0 if equal, +1 if a > b.
+func Cmp(a, b ID) int {
+	for i := 0; i < Size; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports a < b as unsigned integers.
+func Less(a, b ID) bool { return Cmp(a, b) < 0 }
+
+// Add returns (a + b) mod 2^128.
+func Add(a, b ID) ID {
+	var out ID
+	var carry uint16
+	for i := Size - 1; i >= 0; i-- {
+		s := uint16(a[i]) + uint16(b[i]) + carry
+		out[i] = byte(s)
+		carry = s >> 8
+	}
+	return out
+}
+
+// Sub returns (a - b) mod 2^128.
+func Sub(a, b ID) ID {
+	var out ID
+	var borrow int16
+	for i := Size - 1; i >= 0; i-- {
+		d := int16(a[i]) - int16(b[i]) - borrow
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = byte(d)
+	}
+	return out
+}
+
+// RingDistance returns the minimal distance between a and b on the ring,
+// i.e. min(a-b, b-a) mod 2^128.
+func RingDistance(a, b ID) ID {
+	d1 := Sub(a, b)
+	d2 := Sub(b, a)
+	if Less(d1, d2) {
+		return d1
+	}
+	return d2
+}
+
+// Between reports whether x lies in the half-open ring interval (a, b]
+// walking clockwise (increasing) from a. If a == b the interval is the
+// full ring and Between reports x != a.
+func Between(a, x, b ID) bool {
+	if a == b {
+		return x != a
+	}
+	if Less(a, b) {
+		return Cmp(a, x) < 0 && Cmp(x, b) <= 0
+	}
+	// Interval wraps zero.
+	return Cmp(a, x) < 0 || Cmp(x, b) <= 0
+}
+
+// Closer reports whether a is strictly closer to target than b is,
+// by ring distance; ties broken by smaller numeric ID.
+func Closer(target, a, b ID) bool {
+	da, db := RingDistance(a, target), RingDistance(b, target)
+	if c := Cmp(da, db); c != 0 {
+		return c < 0
+	}
+	return Less(a, b)
+}

@@ -1,0 +1,360 @@
+// Package knowledge implements the paper's global knowledge base (§1.1):
+// the relatively static facts the matching service correlates events
+// against — user preferences, social links, calendars ("Bob is on holiday
+// from 20/6 to 27/6"), and GIS data ("Janetta's in Market Street sells ice
+// cream, and is open between 9.00 and 17.00").
+//
+// Facts are subject–predicate–object triples with optional validity
+// intervals. The GIS layer holds places with coordinates, opening hours
+// and stock, indexed on a spatial grid. Both serialise to XML so they can
+// live in the P2P storage architecture and be cached near the matching
+// computation (see Syncer).
+package knowledge
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/gloss/active/internal/netapi"
+)
+
+// Fact is one S-P-O triple, optionally valid only in [From, To).
+type Fact struct {
+	S string `xml:"s,attr"`
+	P string `xml:"p,attr"`
+	O string `xml:"o,attr"`
+	// From/To bound the validity in world time; both zero = always valid.
+	From time.Duration `xml:"from,attr,omitempty"`
+	To   time.Duration `xml:"to,attr,omitempty"`
+}
+
+// ValidAt reports whether the fact holds at time t (t < 0 ignores validity).
+func (f Fact) ValidAt(t time.Duration) bool {
+	if t < 0 || (f.From == 0 && f.To == 0) {
+		return true
+	}
+	return t >= f.From && t < f.To
+}
+
+// KB is an in-memory fact base with subject and predicate indexes.
+// The zero value is not usable; construct with NewKB.
+type KB struct {
+	bySubject map[string][]*Fact
+	count     int
+}
+
+// NewKB returns an empty knowledge base.
+func NewKB() *KB {
+	return &KB{bySubject: make(map[string][]*Fact)}
+}
+
+// Add inserts a fact (duplicates are kept; they are harmless for Ask).
+func (kb *KB) Add(f Fact) {
+	c := f
+	kb.bySubject[f.S] = append(kb.bySubject[f.S], &c)
+	kb.count++
+}
+
+// AddSPO inserts an always-valid fact.
+func (kb *KB) AddSPO(s, p, o string) { kb.Add(Fact{S: s, P: p, O: o}) }
+
+// Len returns the number of stored facts.
+func (kb *KB) Len() int { return kb.count }
+
+// Query returns facts matching the pattern at time t; empty strings are
+// wildcards, t < 0 ignores validity.
+func (kb *KB) Query(s, p, o string, t time.Duration) []Fact {
+	var pool []*Fact
+	if s != "" {
+		pool = kb.bySubject[s]
+	} else {
+		// Wildcard subject: scan in deterministic subject order.
+		subjects := make([]string, 0, len(kb.bySubject))
+		for subj := range kb.bySubject {
+			subjects = append(subjects, subj)
+		}
+		sort.Strings(subjects)
+		for _, subj := range subjects {
+			pool = append(pool, kb.bySubject[subj]...)
+		}
+	}
+	var out []Fact
+	for _, f := range pool {
+		if p != "" && f.P != p {
+			continue
+		}
+		if o != "" && f.O != o {
+			continue
+		}
+		if !f.ValidAt(t) {
+			continue
+		}
+		out = append(out, *f)
+	}
+	return out
+}
+
+// Ask reports whether any fact matches the pattern at time t.
+func (kb *KB) Ask(s, p, o string, t time.Duration) bool {
+	return len(kb.Query(s, p, o, t)) > 0
+}
+
+// One returns the object of the first fact matching (s, p, *) at t.
+func (kb *KB) One(s, p string, t time.Duration) (string, bool) {
+	fs := kb.Query(s, p, "", t)
+	if len(fs) == 0 {
+		return "", false
+	}
+	return fs[0].O, true
+}
+
+// Remove deletes all facts matching the exact triple (any validity).
+func (kb *KB) Remove(s, p, o string) int {
+	pool := kb.bySubject[s]
+	kept := pool[:0]
+	removed := 0
+	for _, f := range pool {
+		if f.P == p && f.O == o {
+			removed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	if len(kept) == 0 {
+		delete(kb.bySubject, s)
+	} else {
+		kb.bySubject[s] = kept
+	}
+	kb.count -= removed
+	return removed
+}
+
+// SubjectFacts returns all facts about one subject.
+func (kb *KB) SubjectFacts(s string) []Fact {
+	out := make([]Fact, 0, len(kb.bySubject[s]))
+	for _, f := range kb.bySubject[s] {
+		out = append(out, *f)
+	}
+	return out
+}
+
+// MergeSubject replaces all facts about a subject with the given set
+// (used when syncing from the distributed store).
+func (kb *KB) MergeSubject(s string, facts []Fact) {
+	kb.count -= len(kb.bySubject[s])
+	delete(kb.bySubject, s)
+	for _, f := range facts {
+		if f.S == s {
+			kb.Add(f)
+		}
+	}
+}
+
+// factsDoc is the XML document form of a fact set.
+type factsDoc struct {
+	XMLName xml.Name `xml:"facts"`
+	Facts   []Fact   `xml:"fact"`
+}
+
+// MarshalFacts serialises facts to XML.
+func MarshalFacts(facts []Fact) ([]byte, error) {
+	return xml.Marshal(factsDoc{Facts: facts})
+}
+
+// UnmarshalFacts parses an XML fact document.
+func UnmarshalFacts(data []byte) ([]Fact, error) {
+	var d factsDoc
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("knowledge: parse facts: %w", err)
+	}
+	return d.Facts, nil
+}
+
+// --- GIS -----------------------------------------------------------------------
+
+// Span is a daily opening interval [Open, Close) in time-of-day offsets.
+type Span struct {
+	Open  time.Duration `xml:"open,attr"`
+	Close time.Duration `xml:"close,attr"`
+}
+
+// Place is a GIS feature.
+type Place struct {
+	Name   string   `xml:"name,attr"`
+	Region string   `xml:"region,attr"`
+	X      float64  `xml:"x,attr"`
+	Y      float64  `xml:"y,attr"`
+	Hours  Span     `xml:"hours"`
+	Sells  []string `xml:"sells"`
+	Tags   []string `xml:"tag"`
+}
+
+// At returns the place coordinate.
+func (p *Place) At() netapi.Coord { return netapi.Coord{X: p.X, Y: p.Y} }
+
+// OpenAt reports whether the place is open at world time t (modulo day).
+// A zero Hours span means always open.
+func (p *Place) OpenAt(t time.Duration) bool {
+	if p.Hours.Open == 0 && p.Hours.Close == 0 {
+		return true
+	}
+	tod := t % (24 * time.Hour)
+	if p.Hours.Open <= p.Hours.Close {
+		return tod >= p.Hours.Open && tod < p.Hours.Close
+	}
+	// Overnight span (e.g. 22:00–02:00).
+	return tod >= p.Hours.Open || tod < p.Hours.Close
+}
+
+// OpenFor returns how much longer the place stays open at time t
+// (zero when closed; a day when always open).
+func (p *Place) OpenFor(t time.Duration) time.Duration {
+	if p.Hours.Open == 0 && p.Hours.Close == 0 {
+		return 24 * time.Hour
+	}
+	if !p.OpenAt(t) {
+		return 0
+	}
+	tod := t % (24 * time.Hour)
+	if p.Hours.Open <= p.Hours.Close {
+		return p.Hours.Close - tod
+	}
+	if tod >= p.Hours.Open {
+		return 24*time.Hour - tod + p.Hours.Close
+	}
+	return p.Hours.Close - tod
+}
+
+// SellsItem reports whether the place stocks an item.
+func (p *Place) SellsItem(item string) bool {
+	for _, s := range p.Sells {
+		if s == item {
+			return true
+		}
+	}
+	return false
+}
+
+const gridCellKm = 1.0
+
+type cellKey struct{ cx, cy int }
+
+// GIS is a spatially indexed set of places.
+type GIS struct {
+	places map[string]*Place
+	order  []string
+	grid   map[cellKey][]*Place
+}
+
+// NewGIS returns an empty GIS layer.
+func NewGIS() *GIS {
+	return &GIS{
+		places: make(map[string]*Place),
+		grid:   make(map[cellKey][]*Place),
+	}
+}
+
+func cellOf(c netapi.Coord) cellKey {
+	return cellKey{cx: int(c.X / gridCellKm), cy: int(c.Y / gridCellKm)}
+}
+
+// AddPlace indexes a place; names must be unique.
+func (g *GIS) AddPlace(p Place) error {
+	if _, dup := g.places[p.Name]; dup {
+		return fmt.Errorf("knowledge: duplicate place %q", p.Name)
+	}
+	cp := p
+	g.places[p.Name] = &cp
+	g.order = append(g.order, p.Name)
+	k := cellOf(cp.At())
+	g.grid[k] = append(g.grid[k], &cp)
+	return nil
+}
+
+// Place looks a place up by name.
+func (g *GIS) Place(name string) (*Place, bool) {
+	p, ok := g.places[name]
+	return p, ok
+}
+
+// Len returns the number of places.
+func (g *GIS) Len() int { return len(g.places) }
+
+// Within returns all places within km of c, nearest first (ties by name).
+func (g *GIS) Within(c netapi.Coord, km float64) []*Place {
+	r := int(km/gridCellKm) + 1
+	center := cellOf(c)
+	var out []*Place
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for _, p := range g.grid[cellKey{center.cx + dx, center.cy + dy}] {
+				if p.At().DistanceKm(c) <= km {
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].At().DistanceKm(c), out[j].At().DistanceKm(c)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// NearestSelling returns the closest place within maxKm of c that stocks
+// item, or nil.
+func (g *GIS) NearestSelling(c netapi.Coord, item string, maxKm float64) *Place {
+	for _, p := range g.Within(c, maxKm) {
+		if p.SellsItem(item) {
+			return p
+		}
+	}
+	return nil
+}
+
+// NearestTagged returns the closest place within maxKm carrying tag.
+func (g *GIS) NearestTagged(c netapi.Coord, tag string, maxKm float64) *Place {
+	for _, p := range g.Within(c, maxKm) {
+		for _, t := range p.Tags {
+			if t == tag {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// gisDoc is the XML document form of the GIS layer.
+type gisDoc struct {
+	XMLName xml.Name `xml:"gis"`
+	Places  []Place  `xml:"place"`
+}
+
+// MarshalGIS serialises places in insertion order.
+func (g *GIS) MarshalGIS() ([]byte, error) {
+	doc := gisDoc{}
+	for _, name := range g.order {
+		doc.Places = append(doc.Places, *g.places[name])
+	}
+	return xml.Marshal(doc)
+}
+
+// UnmarshalGIS parses a GIS document into a fresh index.
+func UnmarshalGIS(data []byte) (*GIS, error) {
+	var doc gisDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("knowledge: parse gis: %w", err)
+	}
+	g := NewGIS()
+	for _, p := range doc.Places {
+		if err := g.AddPlace(p); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

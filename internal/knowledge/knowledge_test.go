@@ -1,0 +1,199 @@
+package knowledge
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/netapi"
+)
+
+func hours(h int) time.Duration { return time.Duration(h) * time.Hour }
+
+func TestKBQueryPatterns(t *testing.T) {
+	kb := NewKB()
+	kb.AddSPO("bob", "likes", "ice cream")
+	kb.AddSPO("bob", "nationality", "scottish")
+	kb.AddSPO("bob", "knows", "anna")
+	kb.AddSPO("anna", "likes", "coffee")
+
+	if !kb.Ask("bob", "likes", "ice cream", -1) {
+		t.Errorf("exact match failed")
+	}
+	if kb.Ask("bob", "likes", "coffee", -1) {
+		t.Errorf("false positive")
+	}
+	if got := len(kb.Query("bob", "", "", -1)); got != 3 {
+		t.Errorf("subject wildcard: %d facts, want 3", got)
+	}
+	if got := len(kb.Query("", "likes", "", -1)); got != 2 {
+		t.Errorf("predicate query across subjects: %d, want 2", got)
+	}
+	if o, ok := kb.One("bob", "nationality", -1); !ok || o != "scottish" {
+		t.Errorf("One = %q/%v", o, ok)
+	}
+	if _, ok := kb.One("bob", "dislikes", -1); ok {
+		t.Errorf("One on absent predicate should fail")
+	}
+}
+
+func TestKBValidityIntervals(t *testing.T) {
+	kb := NewKB()
+	// Bob is on holiday from day 20 to day 27 (§1.1).
+	kb.Add(Fact{S: "bob", P: "on-holiday", O: "true",
+		From: 20 * 24 * time.Hour, To: 27 * 24 * time.Hour})
+	if kb.Ask("bob", "on-holiday", "true", 19*24*time.Hour) {
+		t.Errorf("holiday active too early")
+	}
+	if !kb.Ask("bob", "on-holiday", "true", 25*24*time.Hour) {
+		t.Errorf("holiday inactive mid-interval")
+	}
+	if kb.Ask("bob", "on-holiday", "true", 27*24*time.Hour) {
+		t.Errorf("holiday active at exclusive end")
+	}
+	// t = -1 ignores validity.
+	if !kb.Ask("bob", "on-holiday", "true", -1) {
+		t.Errorf("validity not ignored for t<0")
+	}
+}
+
+func TestKBRemoveAndMerge(t *testing.T) {
+	kb := NewKB()
+	kb.AddSPO("bob", "likes", "ice cream")
+	kb.AddSPO("bob", "likes", "chips")
+	if n := kb.Remove("bob", "likes", "chips"); n != 1 {
+		t.Fatalf("removed %d", n)
+	}
+	if kb.Ask("bob", "likes", "chips", -1) {
+		t.Fatalf("fact survived removal")
+	}
+	kb.MergeSubject("bob", []Fact{{S: "bob", P: "likes", O: "haggis"}})
+	if kb.Ask("bob", "likes", "ice cream", -1) {
+		t.Fatalf("merge did not replace old facts")
+	}
+	if !kb.Ask("bob", "likes", "haggis", -1) {
+		t.Fatalf("merged fact missing")
+	}
+	if kb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", kb.Len())
+	}
+}
+
+func TestFactsXMLRoundTrip(t *testing.T) {
+	in := []Fact{
+		{S: "bob", P: "likes", O: "ice cream"},
+		{S: "bob", P: "on-holiday", O: "true", From: hours(480), To: hours(648)},
+	}
+	data, err := MarshalFacts(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalFacts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func janettas() Place {
+	return Place{
+		Name: "janettas", Region: "st-andrews", X: 10.2, Y: 4.1,
+		Hours: Span{Open: hours(9), Close: hours(17)},
+		Sells: []string{"ice cream", "coffee"},
+		Tags:  []string{"cafe"},
+	}
+}
+
+func TestPlaceOpeningHours(t *testing.T) {
+	p := janettas()
+	if p.OpenAt(hours(8)) {
+		t.Errorf("open before 9")
+	}
+	if !p.OpenAt(hours(12)) {
+		t.Errorf("closed at noon")
+	}
+	if p.OpenAt(hours(17)) {
+		t.Errorf("open at close")
+	}
+	// Second day, 16:45 — the paper's scenario time.
+	at := 24*time.Hour + 16*time.Hour + 45*time.Minute
+	if !p.OpenAt(at) {
+		t.Errorf("closed at 16:45 on day 2")
+	}
+	if got := p.OpenFor(at); got != 15*time.Minute {
+		t.Errorf("OpenFor = %v, want 15m", got)
+	}
+	// Overnight span.
+	bar := Place{Name: "bar", Hours: Span{Open: hours(22), Close: hours(2)}}
+	if !bar.OpenAt(hours(23)) || !bar.OpenAt(hours(1)) || bar.OpenAt(hours(12)) {
+		t.Errorf("overnight hours wrong")
+	}
+	if got := bar.OpenFor(hours(23)); got != 3*time.Hour {
+		t.Errorf("overnight OpenFor = %v", got)
+	}
+	// Always-open.
+	kiosk := Place{Name: "kiosk"}
+	if !kiosk.OpenAt(hours(3)) || kiosk.OpenFor(hours(3)) != 24*time.Hour {
+		t.Errorf("always-open wrong")
+	}
+}
+
+func TestGISSpatialQueries(t *testing.T) {
+	g := NewGIS()
+	if err := g.AddPlace(janettas()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPlace(Place{Name: "far-shop", X: 50, Y: 50, Sells: []string{"ice cream"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPlace(Place{Name: "near-pub", X: 10.4, Y: 4.1, Tags: []string{"pub"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPlace(janettas()); err == nil {
+		t.Fatal("duplicate place accepted")
+	}
+
+	near := netapi.Coord{X: 10.0, Y: 4.0}
+	within := g.Within(near, 1.0)
+	if len(within) != 2 {
+		t.Fatalf("Within returned %d places, want 2", len(within))
+	}
+	if within[0].Name != "janettas" {
+		t.Fatalf("nearest-first ordering broken: %s", within[0].Name)
+	}
+	if p := g.NearestSelling(near, "ice cream", 2.0); p == nil || p.Name != "janettas" {
+		t.Fatalf("NearestSelling = %v", p)
+	}
+	if p := g.NearestSelling(near, "ice cream", 0.05); p != nil {
+		t.Fatalf("radius not respected")
+	}
+	if p := g.NearestTagged(near, "pub", 2.0); p == nil || p.Name != "near-pub" {
+		t.Fatalf("NearestTagged = %v", p)
+	}
+	if p := g.NearestSelling(netapi.Coord{X: 50, Y: 50}, "ice cream", 1); p == nil || p.Name != "far-shop" {
+		t.Fatalf("distant cell lookup failed")
+	}
+}
+
+func TestGISXMLRoundTrip(t *testing.T) {
+	g := NewGIS()
+	if err := g.AddPlace(janettas()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.MarshalGIS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := UnmarshalGIS(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := g2.Place("janettas")
+	if !ok {
+		t.Fatalf("place lost")
+	}
+	if !p.SellsItem("ice cream") || p.Hours.Open != hours(9) || p.Region != "st-andrews" {
+		t.Fatalf("place fields lost: %+v", p)
+	}
+}

@@ -1,0 +1,92 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/store"
+)
+
+// SubjectKey derives the storage GUID for a subject's fact set.
+func SubjectKey(subject string) ids.ID {
+	return ids.FromString("kb/subject/" + subject)
+}
+
+// GISKey is the storage GUID of the shared GIS document.
+func GISKey(region string) ids.ID {
+	return ids.FromString("kb/gis/" + region)
+}
+
+// Syncer moves knowledge between a local KB and the P2P storage
+// architecture, implementing §1.2's requirement that "both the events and
+// the knowledge base must be delivered to the locations at which the
+// matching computation occurs" — the store's promiscuous caching pulls
+// hot subjects close to their matchers.
+type Syncer struct {
+	store *store.Store
+	kb    *KB
+	// Fetches counts remote subject loads.
+	Fetches uint64
+	// Publishes counts subject uploads.
+	Publishes uint64
+}
+
+// NewSyncer binds a syncer to a store and a local KB.
+func NewSyncer(st *store.Store, kb *KB) *Syncer {
+	return &Syncer{store: st, kb: kb}
+}
+
+// PublishSubject uploads the local facts about subject to the store.
+func (sy *Syncer) PublishSubject(subject string, cb func(error)) {
+	facts := sy.kb.SubjectFacts(subject)
+	data, err := MarshalFacts(facts)
+	if err != nil {
+		cb(err)
+		return
+	}
+	sy.Publishes++
+	sy.store.PutAs(SubjectKey(subject), data, cb)
+}
+
+// FetchSubject downloads facts about subject and merges them into the
+// local KB, replacing prior local facts about that subject.
+func (sy *Syncer) FetchSubject(subject string, cb func(error)) {
+	sy.Fetches++
+	sy.store.Get(SubjectKey(subject), func(data []byte, err error) {
+		if err != nil {
+			cb(fmt.Errorf("knowledge: fetch %q: %w", subject, err))
+			return
+		}
+		facts, err := UnmarshalFacts(data)
+		if err != nil {
+			cb(err)
+			return
+		}
+		sy.kb.MergeSubject(subject, facts)
+		cb(nil)
+	})
+}
+
+// PublishGIS uploads a GIS layer under the given region key.
+func (sy *Syncer) PublishGIS(region string, g *GIS, cb func(error)) {
+	data, err := g.MarshalGIS()
+	if err != nil {
+		cb(err)
+		return
+	}
+	sy.Publishes++
+	sy.store.PutAs(GISKey(region), data, cb)
+}
+
+// FetchGIS downloads a region's GIS layer.
+func (sy *Syncer) FetchGIS(region string, cb func(*GIS, error)) {
+	sy.Fetches++
+	sy.store.Get(GISKey(region), func(data []byte, err error) {
+		if err != nil {
+			cb(nil, fmt.Errorf("knowledge: fetch gis %q: %w", region, err))
+			return
+		}
+		g, err := UnmarshalGIS(data)
+		cb(g, err)
+	})
+}

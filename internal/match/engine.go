@@ -1,0 +1,395 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/knowledge"
+	"github.com/gloss/active/internal/vclock"
+)
+
+// Options configure an engine.
+type Options struct {
+	// MaxBuffer bounds the per-pattern event buffer. Default 64.
+	MaxBuffer int
+	// MaxEmittedMemory bounds the duplicate-suppression window. Default 4096.
+	MaxEmittedMemory int
+	// Source stamps synthesised events. Default "matching-engine".
+	Source string
+}
+
+func (o *Options) applyDefaults() {
+	if o.MaxBuffer == 0 {
+		o.MaxBuffer = 64
+	}
+	if o.MaxEmittedMemory == 0 {
+		o.MaxEmittedMemory = 4096
+	}
+	if o.Source == "" {
+		o.Source = "matching-engine"
+	}
+}
+
+// Stats counts engine activity; the In/Out ratio is the paper's
+// distillation measure.
+type Stats struct {
+	EventsIn   uint64
+	Buffered   uint64
+	Joins      uint64 // complete candidate tuples examined
+	CondFails  uint64
+	Emitted    uint64
+	Duplicates uint64 // exact tuple repeats
+	Suppressed uint64 // semantically identical outputs within the window
+	Expired    uint64
+	Errors     uint64
+	Rules      int
+}
+
+// compiledRule is a rule with its runtime correlation state.
+type compiledRule struct {
+	rule     *Rule
+	window   time.Duration
+	suppress time.Duration
+	buffers  [][]*event.Event // one per pattern, newest last
+	// emittedUntil maps an output's semantic key to its suppression
+	// expiry.
+	emittedUntil map[string]time.Duration
+}
+
+// Engine correlates events against rules, the knowledge base and GIS.
+type Engine struct {
+	clock     vclock.Clock
+	kb        *knowledge.KB
+	gis       *knowledge.GIS
+	opts      Options
+	rules     map[string]*compiledRule
+	ruleOrder []string
+	onEmit    []func(*event.Event)
+	onUnknown func(eventType string)
+	unknowns  map[string]bool
+	emitted   map[string]bool
+	emitFIFO  []string
+	emitSeq   uint64
+	stats     Stats
+}
+
+// NewEngine builds an engine over a local KB and GIS view.
+func NewEngine(clock vclock.Clock, kb *knowledge.KB, gis *knowledge.GIS, opts Options) *Engine {
+	opts.applyDefaults()
+	return &Engine{
+		clock:    clock,
+		kb:       kb,
+		gis:      gis,
+		opts:     opts,
+		rules:    make(map[string]*compiledRule),
+		unknowns: make(map[string]bool),
+		emitted:  make(map[string]bool),
+	}
+}
+
+// KB exposes the engine's knowledge base (for host-side fact loading).
+func (e *Engine) KB() *knowledge.KB { return e.kb }
+
+// GIS exposes the engine's GIS layer.
+func (e *Engine) GIS() *knowledge.GIS { return e.gis }
+
+// Stats returns a snapshot of counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Rules = len(e.rules)
+	return s
+}
+
+// OnEmit registers a sink for synthesised events.
+func (e *Engine) OnEmit(fn func(*event.Event)) { e.onEmit = append(e.onEmit, fn) }
+
+// SetUnknownHandler registers the discovery hook invoked once per event
+// type no rule covers (§5: routing unknown event types to discovery
+// matchlets).
+func (e *Engine) SetUnknownHandler(fn func(eventType string)) { e.onUnknown = fn }
+
+// AddRule installs a rule; the name must be unique.
+func (e *Engine) AddRule(r *Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("match: rule needs a name")
+	}
+	if _, dup := e.rules[r.Name]; dup {
+		return fmt.Errorf("match: duplicate rule %q", r.Name)
+	}
+	if len(r.Patterns) == 0 {
+		return fmt.Errorf("match: rule %q has no patterns", r.Name)
+	}
+	if r.Emit.Type == "" {
+		return fmt.Errorf("match: rule %q emits no event type", r.Name)
+	}
+	cr := &compiledRule{
+		rule:         r,
+		window:       r.Window(),
+		suppress:     r.Suppression(),
+		buffers:      make([][]*event.Event, len(r.Patterns)),
+		emittedUntil: make(map[string]time.Duration),
+	}
+	e.rules[r.Name] = cr
+	e.ruleOrder = append(e.ruleOrder, r.Name)
+	return nil
+}
+
+// RemoveRule uninstalls a rule.
+func (e *Engine) RemoveRule(name string) {
+	if _, ok := e.rules[name]; !ok {
+		return
+	}
+	delete(e.rules, name)
+	for i, n := range e.ruleOrder {
+		if n == name {
+			e.ruleOrder = append(e.ruleOrder[:i], e.ruleOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Rules lists installed rule names in insertion order.
+func (e *Engine) Rules() []string {
+	out := make([]string, len(e.ruleOrder))
+	copy(out, e.ruleOrder)
+	return out
+}
+
+// Covers reports whether any rule pattern accepts the event type (used by
+// the discovery path).
+func (e *Engine) Covers(ev *event.Event) bool {
+	for _, name := range e.ruleOrder {
+		for _, p := range e.rules[name].rule.Patterns {
+			if p.Filter.Matches(ev) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Put feeds one event into the engine.
+func (e *Engine) Put(ev *event.Event) {
+	e.stats.EventsIn++
+	matched := false
+	for _, name := range e.ruleOrder {
+		cr := e.rules[name]
+		for pi, p := range cr.rule.Patterns {
+			if !p.Filter.Matches(ev) {
+				continue
+			}
+			matched = true
+			e.insert(cr, pi, ev)
+			e.tryJoin(cr, pi, ev)
+		}
+	}
+	if !matched && e.onUnknown != nil && !e.unknowns[ev.Type] {
+		e.unknowns[ev.Type] = true
+		e.onUnknown(ev.Type)
+	}
+}
+
+// ForgetUnknown clears the once-only latch for an event type so a later
+// occurrence triggers discovery again (e.g. after an install failure).
+func (e *Engine) ForgetUnknown(eventType string) { delete(e.unknowns, eventType) }
+
+// insert adds ev to the pattern buffer, expiring old entries.
+func (e *Engine) insert(cr *compiledRule, pi int, ev *event.Event) {
+	e.stats.Buffered++
+	buf := cr.buffers[pi]
+	cutoff := e.clock.Now() - cr.window
+	kept := buf[:0]
+	for _, old := range buf {
+		if old.Time >= cutoff {
+			kept = append(kept, old)
+		} else {
+			e.stats.Expired++
+		}
+	}
+	kept = append(kept, ev)
+	if len(kept) > e.opts.MaxBuffer {
+		kept = kept[len(kept)-e.opts.MaxBuffer:]
+	}
+	cr.buffers[pi] = kept
+}
+
+// tryJoin attempts all complete correlations that include ev at pattern pi.
+// The search backtracks over a single mutable environment: binding undo is
+// truncation of the env's slices, so the join allocates nothing per
+// candidate tuple.
+func (e *Engine) tryJoin(cr *compiledRule, pi int, ev *event.Event) {
+	base := newEnv()
+	if !bindPattern(&cr.rule.Patterns[pi], ev, base) {
+		return
+	}
+	e.joinRest(cr, pi, 0, base)
+}
+
+// joinRest recursively extends env with one event per remaining pattern.
+func (e *Engine) joinRest(cr *compiledRule, fixed int, next int, cur *env) {
+	if next == len(cr.rule.Patterns) {
+		e.complete(cr, cur)
+		return
+	}
+	if next == fixed {
+		e.joinRest(cr, fixed, next+1, cur)
+		return
+	}
+	cutoff := e.clock.Now() - cr.window
+	buf := cr.buffers[next]
+	p := &cr.rule.Patterns[next]
+	nv, na := len(cur.varNames), len(cur.aliases)
+	// Newest first: prefer fresh context.
+	for i := len(buf) - 1; i >= 0; i-- {
+		cand := buf[i]
+		if cand.Time < cutoff {
+			break
+		}
+		if !bindPattern(p, cand, cur) {
+			cur.truncate(nv, na)
+			continue
+		}
+		e.joinRest(cr, fixed, next+1, cur)
+		cur.truncate(nv, na)
+	}
+}
+
+// bindPattern unifies ev's bound attributes into env; reports success.
+// On failure the caller must truncate the env back to its prior lengths.
+func bindPattern(p *Pattern, ev *event.Event, e *env) bool {
+	if p.Alias != "" {
+		if prev, taken := e.eventFor(p.Alias); taken {
+			if prev.ID != ev.ID {
+				return false
+			}
+		} else {
+			e.setEvent(p.Alias, ev)
+		}
+	}
+	for _, b := range p.Bind {
+		v, ok := ev.Get(b.Attr)
+		if !ok {
+			return false
+		}
+		if prev, bound := e.varValue(b.Var); bound {
+			if !prev.Equal(v) {
+				return false
+			}
+			continue
+		}
+		e.setVar(b.Var, v)
+	}
+	return true
+}
+
+// complete evaluates conditions for a full tuple and emits on success.
+// Conditions run before the (allocating) dedup-key construction: failing
+// tuples — the vast majority under event storms — stay allocation-free.
+func (e *Engine) complete(cr *compiledRule, env_ *env) {
+	e.stats.Joins++
+	ctx := &evalCtx{kb: e.kb, gis: e.gis, now: e.clock.Now()}
+	// Binder conditions may extend the env; truncate on any exit so the
+	// backtracking join sees it unchanged.
+	nv, na := len(env_.varNames), len(env_.aliases)
+	work := env_
+	defer work.truncate(nv, na)
+	for i := range cr.rule.Where {
+		ok, err := evalCondition(&cr.rule.Where[i], work, ctx)
+		if err != nil {
+			e.stats.Errors++
+			return
+		}
+		if !ok {
+			e.stats.CondFails++
+			return
+		}
+	}
+	key := emitKey(cr.rule.Name, env_)
+	if e.emitted[key] {
+		e.stats.Duplicates++
+		return
+	}
+	e.remember(key)
+	out, err := e.synthesise(cr.rule, work, ctx)
+	if err != nil {
+		e.stats.Errors++
+		return
+	}
+	// Semantic output suppression: a fresh tuple producing the same
+	// meaningful event within the suppression window stays quiet.
+	if cr.suppress > 0 {
+		sk := suppressKey(cr.rule, out)
+		if until, seen := cr.emittedUntil[sk]; seen && ctx.now < until {
+			e.stats.Suppressed++
+			return
+		}
+		cr.emittedUntil[sk] = ctx.now + cr.suppress
+		// Opportunistic expiry sweep keeps the map bounded.
+		if len(cr.emittedUntil) > 1024 {
+			for k, until := range cr.emittedUntil {
+				if ctx.now >= until {
+					delete(cr.emittedUntil, k)
+				}
+			}
+		}
+	}
+	e.stats.Emitted++
+	for _, fn := range e.onEmit {
+		fn(out)
+	}
+}
+
+// suppressKey renders an output's semantic identity: type plus all
+// non-volatile emitted attributes.
+func suppressKey(r *Rule, out *event.Event) string {
+	parts := make([]string, 0, len(r.Emit.Attrs)+1)
+	parts = append(parts, out.Type)
+	for _, ea := range r.Emit.Attrs {
+		if ea.Volatile {
+			continue
+		}
+		if v, ok := out.Attrs[ea.Name]; ok {
+			parts = append(parts, ea.Name+"="+v.String())
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// emitKey identifies a correlation by rule and contributing event IDs.
+func emitKey(rule string, env_ *env) string {
+	parts := make([]string, 0, len(env_.aliases)+1)
+	parts = append(parts, rule)
+	for i, alias := range env_.aliases {
+		parts = append(parts, alias+"="+env_.aliasEvs[i].ID.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+func (e *Engine) remember(key string) {
+	e.emitted[key] = true
+	e.emitFIFO = append(e.emitFIFO, key)
+	if len(e.emitFIFO) > e.opts.MaxEmittedMemory {
+		delete(e.emitted, e.emitFIFO[0])
+		e.emitFIFO = e.emitFIFO[1:]
+	}
+}
+
+// synthesise builds the output event from the emit spec.
+func (e *Engine) synthesise(r *Rule, env_ *env, ctx *evalCtx) (*event.Event, error) {
+	e.emitSeq++
+	out := event.New(r.Emit.Type, e.opts.Source+"/"+r.Name, ctx.now)
+	for _, ea := range r.Emit.Attrs {
+		v, err := resolveTerm(ea.From, env_, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out.Set(ea.Name, v)
+	}
+	out.Stamp(e.emitSeq)
+	return out, nil
+}

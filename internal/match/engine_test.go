@@ -1,0 +1,399 @@
+package match
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/knowledge"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/vclock"
+)
+
+// --- fixtures: the paper's §1.1 ice-cream scenario --------------------------
+
+// scenarioTime is 16:45 on day 21 (within Bob's holiday, day 20–27).
+const scenarioTime = 21*24*time.Hour + 16*time.Hour + 45*time.Minute
+
+func scenarioKB() *knowledge.KB {
+	kb := knowledge.NewKB()
+	kb.AddSPO("bob", "likes", "ice cream")
+	kb.AddSPO("bob", "nationality", "scottish")
+	// Scottish users regard 20° as hot (§1.1's inference, materialised as
+	// a derived fact when the profile is loaded).
+	kb.AddSPO("bob", "hot-threshold", "20")
+	kb.AddSPO("bob", "knows", "anna")
+	kb.Add(knowledge.Fact{S: "bob", P: "has-spare-time", O: "true",
+		From: 20 * 24 * time.Hour, To: 27 * 24 * time.Hour})
+	return kb
+}
+
+func scenarioGIS() *knowledge.GIS {
+	g := knowledge.NewGIS()
+	// Janetta's in Market Street, open 9:00–17:00, sells ice cream.
+	_ = g.AddPlace(knowledge.Place{
+		Name: "janettas", Region: "st-andrews", X: 10.30, Y: 4.00,
+		Hours: knowledge.Span{Open: 9 * time.Hour, Close: 17 * time.Hour},
+		Sells: []string{"ice cream"},
+	})
+	return g
+}
+
+// iceCreamRule is the paper's example correlation as a declarative rule.
+func iceCreamRule() *Rule {
+	return &Rule{
+		Name:     "ice-cream-meetup",
+		WindowMs: int64(30 * time.Minute / time.Millisecond),
+		Patterns: []Pattern{
+			{
+				Alias:  "loc",
+				Filter: pubsub.NewFilter(pubsub.TypeIs("gps.location")),
+				Bind:   []Binding{{Attr: "user", Var: "U"}},
+			},
+			{
+				Alias:  "floc",
+				Filter: pubsub.NewFilter(pubsub.TypeIs("gps.location")),
+				Bind:   []Binding{{Attr: "user", Var: "F"}},
+			},
+			{
+				Alias:  "w",
+				Filter: pubsub.NewFilter(pubsub.TypeIs("weather.report")),
+			},
+		},
+		Where: []Condition{
+			{Type: "cmp", Left: "$U", Op: "ne", Right: "$F"},
+			{Type: "kb", S: "$U", P: "likes", O: "ice cream"},
+			{Type: "kb", S: "$U", P: "knows", O: "$F"},
+			{Type: "kb", S: "$U", P: "has-spare-time", O: "true"},
+			{Type: "cmp", Left: "$w.tempC", Op: "ge", Right: "kb:$U:hot-threshold:25"},
+			{Type: "withinKm", A: "$loc", B: "$floc", Km: 2},
+			{Type: "bindNearestSelling", Item: "ice cream", Near: "$loc", Km: 1.5, Var: "P"},
+			{Type: "reachable", A: "$loc", Var: "$P", SpeedKmH: 5},
+		},
+		Emit: Emit{
+			Type: "suggestion.meet",
+			Attrs: []EmitAttr{
+				{Name: "user", From: "$U"},
+				{Name: "friend", From: "$F"},
+				{Name: "place", From: "$P"},
+				{Name: "x", From: "place:$P.x"},
+				{Name: "y", From: "place:$P.y"},
+				{Name: "reason", From: "ice cream"},
+			},
+		},
+	}
+}
+
+func locEv(user string, x, y float64, at time.Duration, seq uint64) *event.Event {
+	return event.New("gps.location", "gps-"+user, at).
+		Set("user", event.S(user)).
+		Set("x", event.F(x)).
+		Set("y", event.F(y)).
+		Stamp(seq)
+}
+
+func weatherEv(region string, temp float64, at time.Duration, seq uint64) *event.Event {
+	return event.New("weather.report", "thermo-"+region, at).
+		Set("region", event.S(region)).
+		Set("tempC", event.F(temp)).
+		Stamp(seq)
+}
+
+// scenarioEngine builds an engine at the scenario time with the rule loaded.
+func scenarioEngine(t *testing.T) (*Engine, *vclock.Scheduler, *[]*event.Event) {
+	t.Helper()
+	sched := vclock.NewScheduler()
+	sched.RunUntil(scenarioTime)
+	eng := NewEngine(sched, scenarioKB(), scenarioGIS(), Options{})
+	if err := eng.AddRule(iceCreamRule()); err != nil {
+		t.Fatal(err)
+	}
+	var out []*event.Event
+	eng.OnEmit(func(ev *event.Event) { out = append(out, ev) })
+	return eng, sched, &out
+}
+
+// feedScenario injects the happy-path events: Bob in North Street, Anna
+// nearby, 20° in the region.
+func feedScenario(eng *Engine) {
+	eng.Put(weatherEv("st-andrews", 20, scenarioTime-5*time.Minute, 1))
+	eng.Put(locEv("anna", 10.25, 3.95, scenarioTime-2*time.Minute, 2))
+	eng.Put(locEv("bob", 10.20, 4.05, scenarioTime, 3))
+}
+
+func TestIceCreamScenarioEmitsSuggestion(t *testing.T) {
+	eng, _, out := scenarioEngine(t)
+	feedScenario(eng)
+	// Two directed suggestions are possible (bob→anna requires anna's
+	// profile too; anna has none, so only bob→anna's correlation from
+	// bob's perspective fires).
+	if len(*out) != 1 {
+		t.Fatalf("suggestions = %d, want 1", len(*out))
+	}
+	s := (*out)[0]
+	if s.Type != "suggestion.meet" {
+		t.Fatalf("type = %s", s.Type)
+	}
+	if s.GetString("user") != "bob" || s.GetString("friend") != "anna" {
+		t.Fatalf("participants: %+v", s.Attrs)
+	}
+	if s.GetString("place") != "janettas" {
+		t.Fatalf("place = %q", s.GetString("place"))
+	}
+	if s.GetNum("x") != 10.30 {
+		t.Fatalf("place coords not resolved: %+v", s.Attrs)
+	}
+	st := eng.Stats()
+	if st.EventsIn != 3 || st.Emitted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestScenarioNegatives(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Engine, *vclock.Scheduler)
+	}{
+		{"cold weather", func(eng *Engine, _ *vclock.Scheduler) {
+			eng.Put(weatherEv("st-andrews", 12, scenarioTime-5*time.Minute, 1))
+			eng.Put(locEv("anna", 10.25, 3.95, scenarioTime-2*time.Minute, 2))
+			eng.Put(locEv("bob", 10.20, 4.05, scenarioTime, 3))
+		}},
+		{"friend too far", func(eng *Engine, _ *vclock.Scheduler) {
+			eng.Put(weatherEv("st-andrews", 20, scenarioTime-5*time.Minute, 1))
+			eng.Put(locEv("anna", 40, 40, scenarioTime-2*time.Minute, 2))
+			eng.Put(locEv("bob", 10.20, 4.05, scenarioTime, 3))
+		}},
+		{"no social link", func(eng *Engine, _ *vclock.Scheduler) {
+			eng.KB().Remove("bob", "knows", "anna")
+			feedScenario(eng)
+		}},
+		{"no spare time (holiday over)", func(eng *Engine, sched *vclock.Scheduler) {
+			// Day 28, same hour: holiday fact expired.
+			sched.RunUntil(28*24*time.Hour + 16*time.Hour + 45*time.Minute)
+			now := sched.Now()
+			eng.Put(weatherEv("st-andrews", 20, now-5*time.Minute, 1))
+			eng.Put(locEv("anna", 10.25, 3.95, now-2*time.Minute, 2))
+			eng.Put(locEv("bob", 10.20, 4.05, now, 3))
+		}},
+		{"shop closed (evening)", func(eng *Engine, sched *vclock.Scheduler) {
+			late := 21*24*time.Hour + 18*time.Hour
+			sched.RunUntil(late)
+			eng.Put(weatherEv("st-andrews", 20, late-5*time.Minute, 1))
+			eng.Put(locEv("anna", 10.25, 3.95, late-2*time.Minute, 2))
+			eng.Put(locEv("bob", 10.20, 4.05, late, 3))
+		}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			eng, sched, out := scenarioEngine(t)
+			tt.mutate(eng, sched)
+			if len(*out) != 0 {
+				t.Fatalf("unexpected suggestion: %+v", (*out)[0].Attrs)
+			}
+		})
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	eng, _, out := scenarioEngine(t)
+	feedScenario(eng)
+	// Re-inject bob's location (same event ID): must not re-emit.
+	eng.Put(locEv("bob", 10.20, 4.05, scenarioTime, 3))
+	if len(*out) != 1 {
+		t.Fatalf("suggestions = %d, want 1 (dedup)", len(*out))
+	}
+	if eng.Stats().Duplicates == 0 {
+		t.Fatalf("duplicate not counted")
+	}
+	// A *new* location event forms a new tuple, but the synthesised
+	// suggestion is semantically identical → output suppression holds it
+	// within the window.
+	eng.Put(locEv("bob", 10.21, 4.04, scenarioTime+time.Minute, 4))
+	if len(*out) != 1 {
+		t.Fatalf("semantically identical output not suppressed: %d", len(*out))
+	}
+	if eng.Stats().Suppressed == 0 {
+		t.Fatalf("suppression not counted")
+	}
+}
+
+func TestSuppressionDisabled(t *testing.T) {
+	sched := vclock.NewScheduler()
+	sched.RunUntil(scenarioTime)
+	eng := NewEngine(sched, scenarioKB(), scenarioGIS(), Options{})
+	rule := iceCreamRule()
+	rule.SuppressMs = -1 // every distinct tuple re-fires
+	if err := eng.AddRule(rule); err != nil {
+		t.Fatal(err)
+	}
+	var out []*event.Event
+	eng.OnEmit(func(ev *event.Event) { out = append(out, ev) })
+	feedScenario(eng)
+	eng.Put(locEv("bob", 10.21, 4.04, scenarioTime+time.Minute, 4))
+	if len(out) != 2 {
+		t.Fatalf("with suppression off, fresh tuple should re-fire: %d", len(out))
+	}
+}
+
+func TestSuppressionExpires(t *testing.T) {
+	sched := vclock.NewScheduler()
+	sched.RunUntil(scenarioTime)
+	eng := NewEngine(sched, scenarioKB(), scenarioGIS(), Options{})
+	rule := iceCreamRule()
+	rule.SuppressMs = int64(2 * time.Minute / time.Millisecond)
+	if err := eng.AddRule(rule); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	eng.OnEmit(func(*event.Event) { count++ })
+	feedScenario(eng)
+	if count != 1 {
+		t.Fatalf("initial emit count = %d", count)
+	}
+	// Within the suppression window: quiet.
+	eng.Put(locEv("bob", 10.21, 4.04, scenarioTime+time.Minute, 10))
+	if count != 1 {
+		t.Fatalf("suppression failed: %d", count)
+	}
+	// After expiry (within the 30m correlation window): re-fires.
+	sched.RunUntil(scenarioTime + 5*time.Minute)
+	eng.Put(locEv("bob", 10.22, 4.03, sched.Now(), 11))
+	if count != 2 {
+		t.Fatalf("expired suppression did not re-fire: %d", count)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	eng, sched, out := scenarioEngine(t)
+	// Anna seen long ago; bob arrives after the 30m window: stale.
+	eng.Put(weatherEv("st-andrews", 20, scenarioTime, 1))
+	eng.Put(locEv("anna", 10.25, 3.95, scenarioTime, 2))
+	sched.RunUntil(scenarioTime + 45*time.Minute)
+	// Re-supply fresh weather (it also expired), but not anna.
+	eng.Put(weatherEv("st-andrews", 20, sched.Now(), 3))
+	eng.Put(locEv("bob", 10.20, 4.05, sched.Now(), 4))
+	if len(*out) != 0 {
+		t.Fatalf("stale event joined: %+v", (*out)[0].Attrs)
+	}
+	if eng.Stats().Expired == 0 {
+		t.Fatalf("expiry not counted")
+	}
+}
+
+func TestUnknownTypeHookFiresOnce(t *testing.T) {
+	eng, _, _ := scenarioEngine(t)
+	var unknown []string
+	eng.SetUnknownHandler(func(typ string) { unknown = append(unknown, typ) })
+	eng.Put(event.New("alien.reading", "s", scenarioTime).Stamp(1))
+	eng.Put(event.New("alien.reading", "s", scenarioTime).Stamp(2))
+	eng.Put(event.New("other.unknown", "s", scenarioTime).Stamp(3))
+	if len(unknown) != 2 || unknown[0] != "alien.reading" || unknown[1] != "other.unknown" {
+		t.Fatalf("unknown hook calls: %v", unknown)
+	}
+	eng.ForgetUnknown("alien.reading")
+	eng.Put(event.New("alien.reading", "s", scenarioTime).Stamp(4))
+	if len(unknown) != 3 {
+		t.Fatalf("ForgetUnknown did not re-arm the hook")
+	}
+}
+
+func TestRuleXMLRoundTrip(t *testing.T) {
+	r := iceCreamRule()
+	data, err := MarshalRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "bindNearestSelling") {
+		t.Fatalf("serialisation lost conditions: %s", data)
+	}
+	got, err := UnmarshalRule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The round-tripped rule must behave identically.
+	sched := vclock.NewScheduler()
+	sched.RunUntil(scenarioTime)
+	eng := NewEngine(sched, scenarioKB(), scenarioGIS(), Options{})
+	if err := eng.AddRule(got); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	eng.OnEmit(func(*event.Event) { fired++ })
+	feedScenario(eng)
+	if fired != 1 {
+		t.Fatalf("round-tripped rule fired %d times, want 1", fired)
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	eng, _, _ := scenarioEngine(t)
+	if err := eng.AddRule(&Rule{Name: ""}); err == nil {
+		t.Errorf("empty name accepted")
+	}
+	if err := eng.AddRule(iceCreamRule()); err == nil {
+		t.Errorf("duplicate rule accepted")
+	}
+	if err := eng.AddRule(&Rule{Name: "x", Patterns: []Pattern{{}}, Emit: Emit{}}); err == nil {
+		t.Errorf("missing emit type accepted")
+	}
+	if err := eng.AddRule(&Rule{Name: "y", Emit: Emit{Type: "t"}}); err == nil {
+		t.Errorf("missing patterns accepted")
+	}
+}
+
+func TestRemoveRuleStopsMatching(t *testing.T) {
+	eng, _, out := scenarioEngine(t)
+	eng.RemoveRule("ice-cream-meetup")
+	feedScenario(eng)
+	if len(*out) != 0 {
+		t.Fatalf("removed rule still fired")
+	}
+	if len(eng.Rules()) != 0 {
+		t.Fatalf("rule list not empty")
+	}
+}
+
+func TestDistillationRatio(t *testing.T) {
+	eng, _, out := scenarioEngine(t)
+	// A storm of irrelevant low-level events around one meaningful
+	// correlation: the engine distils thousands to one.
+	for i := 0; i < 500; i++ {
+		eng.Put(weatherEv("elsewhere", 5, scenarioTime-time.Minute, uint64(1000+i)))
+		eng.Put(locEv("stranger", 500, 500, scenarioTime-time.Minute, uint64(3000+i)))
+	}
+	feedScenario(eng)
+	st := eng.Stats()
+	if len(*out) != 1 {
+		t.Fatalf("meaningful events = %d, want 1", len(*out))
+	}
+	ratio := float64(st.EventsIn) / float64(st.Emitted)
+	if ratio < 1000 {
+		t.Fatalf("distillation ratio %.0f too low", ratio)
+	}
+}
+
+func TestCmpAliasAttributeAgainstLiteral(t *testing.T) {
+	sched := vclock.NewScheduler()
+	eng := NewEngine(sched, knowledge.NewKB(), knowledge.NewGIS(), Options{})
+	err := eng.AddRule(&Rule{
+		Name: "hot",
+		Patterns: []Pattern{{
+			Alias:  "w",
+			Filter: pubsub.NewFilter(pubsub.TypeIs("weather.report")),
+		}},
+		Where: []Condition{{Type: "cmp", Left: "$w.tempC", Op: "gt", Right: "30"}},
+		Emit:  Emit{Type: "alert.heat", Attrs: []EmitAttr{{Name: "t", From: "$w.tempC"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	eng.OnEmit(func(*event.Event) { count++ })
+	eng.Put(weatherEv("oz", 35, 0, 1))
+	eng.Put(weatherEv("oz", 25, 0, 2))
+	if count != 1 {
+		t.Fatalf("emitted %d, want 1", count)
+	}
+}

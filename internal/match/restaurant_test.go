@@ -1,0 +1,138 @@
+package match
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/knowledge"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/vclock"
+)
+
+// The paper's second §1.1 scenario: Bob in Australia walks past a
+// restaurant previously recommended by Anna; her opinion should be
+// delivered "if it is dinner time and he has no plans for dinner".
+// Exercises kbBind, nokb and openFor conditions.
+
+func restaurantRule() *Rule {
+	return &Rule{
+		Name:     "recommended-restaurant",
+		WindowMs: int64(10 * time.Minute / time.Millisecond),
+		Patterns: []Pattern{{
+			Alias:  "loc",
+			Filter: pubsub.NewFilter(pubsub.TypeIs("gps.location")),
+			Bind:   []Binding{{Attr: "user", Var: "U"}},
+		}},
+		Where: []Condition{
+			{Type: "bindNearestSelling", Item: "dinner", Near: "$loc", Km: 0.3, Var: "P"},
+			{Type: "kbBind", S: "$P", P: "recommended-by", Var: "R"},
+			{Type: "kb", S: "$U", P: "knows", O: "$R"},
+			{Type: "nokb", S: "$U", P: "has-dinner-plans", O: "true"},
+			{Type: "openFor", Var: "$P", MinMinutes: 60},
+		},
+		Emit: Emit{
+			Type: "suggestion.dine",
+			Attrs: []EmitAttr{
+				{Name: "user", From: "$U"},
+				{Name: "place", From: "$P"},
+				{Name: "recommendedBy", From: "$R"},
+				{Name: "opinion", From: "kb:$P:opinion:worth a visit"},
+			},
+		},
+	}
+}
+
+func restaurantWorld() (*Engine, *vclock.Scheduler, *[]*event.Event) {
+	sched := vclock.NewScheduler()
+	sched.RunUntil(19 * time.Hour) // dinner time
+	kb := knowledge.NewKB()
+	kb.AddSPO("bob", "knows", "anna")
+	kb.AddSPO("harbour-grill", "recommended-by", "anna")
+	kb.AddSPO("harbour-grill", "opinion", "best barramundi in Sydney")
+	gis := knowledge.NewGIS()
+	_ = gis.AddPlace(knowledge.Place{
+		Name: "harbour-grill", Region: "ap", X: 15010, Y: -1990,
+		Hours: knowledge.Span{Open: 8 * time.Hour, Close: 23 * time.Hour},
+		Sells: []string{"dinner"},
+	})
+	eng := NewEngine(sched, kb, gis, Options{})
+	if err := eng.AddRule(restaurantRule()); err != nil {
+		panic(err)
+	}
+	var out []*event.Event
+	eng.OnEmit(func(ev *event.Event) { out = append(out, ev) })
+	return eng, sched, &out
+}
+
+func bobAt(x, y float64, at time.Duration, seq uint64) *event.Event {
+	return event.New("gps.location", "gps-bob", at).
+		Set("user", event.S("bob")).
+		Set("x", event.F(x)).Set("y", event.F(y)).
+		Stamp(seq)
+}
+
+func TestRestaurantRecommendationDelivered(t *testing.T) {
+	eng, sched, out := restaurantWorld()
+	eng.Put(bobAt(15010.1, -1990.05, sched.Now(), 1))
+	if len(*out) != 1 {
+		t.Fatalf("suggestions = %d, want 1", len(*out))
+	}
+	s := (*out)[0]
+	if s.GetString("place") != "harbour-grill" || s.GetString("recommendedBy") != "anna" {
+		t.Fatalf("content: %+v", s.Attrs)
+	}
+	if s.GetString("opinion") != "best barramundi in Sydney" {
+		t.Fatalf("opinion lookup: %q", s.GetString("opinion"))
+	}
+}
+
+func TestRestaurantNegatives(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Engine, *vclock.Scheduler)
+	}{
+		{"too far from the restaurant", func(eng *Engine, s *vclock.Scheduler) {
+			eng.Put(bobAt(15015, -1990, s.Now(), 1))
+		}},
+		{"has dinner plans", func(eng *Engine, s *vclock.Scheduler) {
+			eng.KB().AddSPO("bob", "has-dinner-plans", "true")
+			eng.Put(bobAt(15010.1, -1990.05, s.Now(), 1))
+		}},
+		{"recommended by a stranger", func(eng *Engine, s *vclock.Scheduler) {
+			eng.KB().Remove("harbour-grill", "recommended-by", "anna")
+			eng.KB().AddSPO("harbour-grill", "recommended-by", "carlos")
+			eng.Put(bobAt(15010.1, -1990.05, s.Now(), 1))
+		}},
+		{"no recommendation at all", func(eng *Engine, s *vclock.Scheduler) {
+			eng.KB().Remove("harbour-grill", "recommended-by", "anna")
+			eng.Put(bobAt(15010.1, -1990.05, s.Now(), 1))
+		}},
+		{"closing within the hour", func(eng *Engine, s *vclock.Scheduler) {
+			s.RunUntil(22*time.Hour + 30*time.Minute) // closes at 23:00
+			eng.Put(bobAt(15010.1, -1990.05, s.Now(), 1))
+		}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			eng, sched, out := restaurantWorld()
+			tt.mutate(eng, sched)
+			if len(*out) != 0 {
+				t.Fatalf("unexpected suggestion: %+v", (*out)[0].Attrs)
+			}
+		})
+	}
+}
+
+func TestKBDefaultTermUsed(t *testing.T) {
+	eng, sched, out := restaurantWorld()
+	// Remove the opinion fact: the emit term's default applies.
+	eng.KB().Remove("harbour-grill", "opinion", "best barramundi in Sydney")
+	eng.Put(bobAt(15010.1, -1990.05, sched.Now(), 1))
+	if len(*out) != 1 {
+		t.Fatalf("suggestions = %d", len(*out))
+	}
+	if got := (*out)[0].GetString("opinion"); got != "worth a visit" {
+		t.Fatalf("default opinion = %q", got)
+	}
+}

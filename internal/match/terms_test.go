@@ -1,0 +1,148 @@
+package match
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/knowledge"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/vclock"
+)
+
+// termCtx builds a minimal evaluation context.
+func termCtx() (*env, *evalCtx) {
+	kb := knowledge.NewKB()
+	kb.AddSPO("bob", "likes", "ice cream")
+	kb.AddSPO("bob", "age", "34")
+	gis := knowledge.NewGIS()
+	_ = gis.AddPlace(knowledge.Place{Name: "cafe", Region: "eu", X: 1.5, Y: 2.5})
+	e := newEnv()
+	e.setVar("U", event.S("bob"))
+	e.setVar("P", event.S("cafe"))
+	ev := event.New("gps.location", "gps", 9*time.Hour).
+		Set("user", event.S("bob")).Set("x", event.F(1.0)).Set("y", event.F(2.0))
+	e.setEvent("loc", ev)
+	return e, &evalCtx{kb: kb, gis: gis, now: 9 * time.Hour}
+}
+
+func TestResolveTermForms(t *testing.T) {
+	e, ctx := termCtx()
+	tests := []struct {
+		term string
+		want string
+	}{
+		{"$U", "bob"},
+		{"$loc.user", "bob"},
+		{"$loc.type", "gps.location"}, // implicit attribute
+		{"place:$P.name", "cafe"},
+		{"place:$P.x", "1.5"},
+		{"place:$P.region", "eu"},
+		{"kb:$U:likes", "ice cream"},
+		{"kb:$U:age", "34"},
+		{"kb:$U:shoe-size:11", "11"}, // default applies
+		{"plain literal", "plain literal"},
+		{"42.5", "42.5"},
+	}
+	for _, tt := range tests {
+		v, err := resolveTerm(tt.term, e, ctx)
+		if err != nil {
+			t.Errorf("resolveTerm(%q): %v", tt.term, err)
+			continue
+		}
+		if v.String() != tt.want {
+			t.Errorf("resolveTerm(%q) = %q, want %q", tt.term, v.String(), tt.want)
+		}
+	}
+	// Numeric literals resolve as numbers.
+	if v, _ := resolveTerm("42.5", e, ctx); v.K != event.KindFloat {
+		t.Errorf("numeric literal kind = %v", v.K)
+	}
+}
+
+func TestResolveTermErrors(t *testing.T) {
+	e, ctx := termCtx()
+	for _, term := range []string{
+		"$missing",          // unbound variable
+		"$ghost.attr",       // unbound alias
+		"$loc.no-such-attr", // missing attribute
+		"place:$U.x",        // "bob" is not a place
+		"place:$P",          // no field
+		"place:$P.altitude", // unknown field
+		"kb:$U:absent",      // no fact, no default
+		"kb:only-subject",   // malformed kb term
+	} {
+		if _, err := resolveTerm(term, e, ctx); err == nil {
+			t.Errorf("resolveTerm(%q): want error", term)
+		}
+	}
+}
+
+func TestCoordOfForms(t *testing.T) {
+	e, ctx := termCtx()
+	c, err := coordOf("$loc", e, ctx)
+	if err != nil || c.X != 1.0 || c.Y != 2.0 {
+		t.Fatalf("coordOf($loc) = %v, %v", c, err)
+	}
+	c, err = coordOf("place:$P", e, ctx)
+	if err != nil || c.X != 1.5 {
+		t.Fatalf("coordOf(place:$P) = %v, %v", c, err)
+	}
+	for _, term := range []string{"$nope", "place:$U", "literal"} {
+		if _, err := coordOf(term, e, ctx); err == nil {
+			t.Errorf("coordOf(%q): want error", term)
+		}
+	}
+}
+
+func TestUnknownConditionTypeErrors(t *testing.T) {
+	e, ctx := termCtx()
+	c := &Condition{Type: "teleport"}
+	if _, err := evalCondition(c, e, ctx); err == nil || !strings.Contains(err.Error(), "unknown condition") {
+		t.Fatalf("err = %v", err)
+	}
+	bad := &Condition{Type: "cmp", Left: "$U", Op: "spaceship", Right: "$U"}
+	if _, err := evalCondition(bad, e, ctx); err == nil {
+		t.Fatalf("bad cmp op accepted")
+	}
+}
+
+func TestConditionErrorsCountedByEngine(t *testing.T) {
+	kb := knowledge.NewKB()
+	gis := knowledge.NewGIS()
+	sched := newTestClock()
+	eng := NewEngine(sched, kb, gis, Options{})
+	err := eng.AddRule(&Rule{
+		Name: "broken",
+		Patterns: []Pattern{{
+			Alias:  "e",
+			Filter: filterForType("x.y"),
+		}},
+		// References an alias that is never bound.
+		Where: []Condition{{Type: "cmp", Left: "$ghost.attr", Op: "eq", Right: "1"}},
+		Emit:  Emit{Type: "never"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	eng.OnEmit(func(*event.Event) { emitted++ })
+	eng.Put(event.New("x.y", "s", 0).Stamp(1))
+	if emitted != 0 {
+		t.Fatal("broken rule emitted")
+	}
+	if eng.Stats().Errors == 0 {
+		t.Fatal("condition error not counted")
+	}
+}
+
+// --- test helpers ---------------------------------------------------------
+
+// newTestClock returns a scheduler positioned at time zero.
+func newTestClock() *vclock.Scheduler { return vclock.NewScheduler() }
+
+// filterForType builds a type-equality filter.
+func filterForType(t string) pubsub.Filter {
+	return pubsub.NewFilter(pubsub.TypeIs(t))
+}

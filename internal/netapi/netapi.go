@@ -1,0 +1,84 @@
+// Package netapi defines the endpoint abstraction through which every
+// protocol in this repository (overlay routing, pub/sub, storage, bundle
+// deployment, pipelines) talks to the network. Two implementations exist:
+// the deterministic simulator (internal/simnet) and the real TCP transport
+// (internal/transport).
+//
+// Callback discipline: an endpoint delivers messages and timer callbacks
+// serially — protocol code never runs concurrently with itself on the same
+// node and therefore needs no locks. Under simnet the whole world shares
+// one event loop; under TCP each node has an actor loop.
+package netapi
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/vclock"
+	"github.com/gloss/active/internal/wire"
+)
+
+// ErrTimeout is delivered to request callbacks when no reply arrives in time.
+var ErrTimeout = errors.New("netapi: request timed out")
+
+// ErrUnreachable is delivered when the destination is known to be dead or
+// the message could not be sent.
+var ErrUnreachable = errors.New("netapi: destination unreachable")
+
+// Coord is a planar position in kilometres, used by the latency model and
+// by geographic placement policies.
+type Coord struct {
+	X, Y float64
+}
+
+// DistanceKm returns the Euclidean distance between two coordinates.
+func (c Coord) DistanceKm(o Coord) float64 {
+	dx, dy := c.X-o.X, c.Y-o.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// NodeInfo describes a node's static attributes, advertised to other nodes
+// and used by deployment policies.
+type NodeInfo struct {
+	ID     ids.ID
+	Region string
+	Coord  Coord
+}
+
+// Ctx accompanies an incoming message.
+type Ctx interface {
+	// Reply answers a request. For one-way messages Reply is a no-op.
+	Reply(msg wire.Message)
+	// ReplyErr answers a request with an error.
+	ReplyErr(err error)
+}
+
+// Handler processes one incoming message of a registered kind.
+type Handler func(ctx Ctx, from ids.ID, msg wire.Message)
+
+// ReplyFunc receives the outcome of a Request.
+type ReplyFunc func(reply wire.Message, err error)
+
+// Endpoint is a node's interface to the network.
+type Endpoint interface {
+	// ID returns this node's identifier.
+	ID() ids.ID
+	// Info returns this node's static attributes.
+	Info() NodeInfo
+	// Clock returns the node's scheduling clock.
+	Clock() vclock.Clock
+	// Rand returns the node's deterministic random source. Protocol code
+	// must use this rather than global rand.
+	Rand() *rand.Rand
+	// Send transmits a one-way message.
+	Send(to ids.ID, msg wire.Message)
+	// Request transmits msg and invokes cb exactly once with the reply
+	// or an error (ErrTimeout after the deadline).
+	Request(to ids.ID, msg wire.Message, timeout time.Duration, cb ReplyFunc)
+	// Handle registers the handler for a message kind. A second
+	// registration for the same kind replaces the first.
+	Handle(kind string, h Handler)
+}

@@ -1,0 +1,536 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/vclock"
+)
+
+// registerStandard loads the built-in component library.
+func registerStandard(r *Registry) {
+	r.Register("filter.threshold", newThresholdFilter)
+	r.Register("filter.attr", newAttrFilter)
+	r.Register("filter.type", newTypeFilter)
+	r.Register("buffer", newBuffer)
+	r.Register("throttle", newThrottle)
+	r.Register("aggregate.avg", newAverager)
+	r.Register("counter", newCounter)
+	r.Register("remote", newRemoteConnector)
+	r.Register("deliver", newDeliver)
+	r.Register("publish", newPublish)
+	r.Register("map.setattr", newSetAttr)
+}
+
+// --- threshold filter -------------------------------------------------------
+
+// ThresholdFilter forwards location events only when the subject has
+// moved more than a threshold distance since the last forwarded event —
+// the paper's own example of a filtering component (§4.2).
+type ThresholdFilter struct {
+	Outlet
+	name   string
+	km     float64
+	keyBy  string
+	last   map[string]netapi.Coord
+	Passed uint64
+	Culled uint64
+}
+
+func newThresholdFilter(name string, params map[string]string, _ Deps) (Component, error) {
+	km, err := floatParam(params, "km", 0.05)
+	if err != nil {
+		return nil, err
+	}
+	keyBy := params["key"]
+	if keyBy == "" {
+		keyBy = "user"
+	}
+	return &ThresholdFilter{name: name, km: km, keyBy: keyBy, last: make(map[string]netapi.Coord)}, nil
+}
+
+// Name implements Component.
+func (f *ThresholdFilter) Name() string { return f.name }
+
+// Put implements Component.
+func (f *ThresholdFilter) Put(ev *event.Event) {
+	key := ev.GetString(f.keyBy)
+	pos := netapi.Coord{X: ev.GetNum("x"), Y: ev.GetNum("y")}
+	if prev, seen := f.last[key]; seen && prev.DistanceKm(pos) < f.km {
+		f.Culled++
+		return
+	}
+	f.last[key] = pos
+	f.Passed++
+	f.Emit(ev)
+}
+
+// --- attribute / type filters --------------------------------------------------
+
+// AttrFilter forwards events matching a content-based filter expression.
+type AttrFilter struct {
+	Outlet
+	name   string
+	filter pubsub.Filter
+	Passed uint64
+	Culled uint64
+}
+
+func newAttrFilter(name string, params map[string]string, _ Deps) (Component, error) {
+	f := pubsub.Filter{}
+	// Parameters of the form "attr op value kind", e.g. c1="tempC ge 20 float".
+	for i := 1; ; i++ {
+		expr, ok := params[fmt.Sprintf("c%d", i)]
+		if !ok {
+			break
+		}
+		c, err := parseConstraint(expr)
+		if err != nil {
+			return nil, err
+		}
+		f.Constraints = append(f.Constraints, c)
+	}
+	return &AttrFilter{name: name, filter: f}, nil
+}
+
+func parseConstraint(expr string) (pubsub.Constraint, error) {
+	var attr, op, val, kind string
+	n, err := fmt.Sscanf(expr, "%s %s %s %s", &attr, &op, &val, &kind)
+	if err != nil && n < 2 {
+		return pubsub.Constraint{}, fmt.Errorf("pipeline: bad constraint %q", expr)
+	}
+	ops := map[string]pubsub.Op{
+		"eq": pubsub.OpEq, "ne": pubsub.OpNe, "lt": pubsub.OpLt, "le": pubsub.OpLe,
+		"gt": pubsub.OpGt, "ge": pubsub.OpGe, "prefix": pubsub.OpPrefix,
+		"suffix": pubsub.OpSuffix, "contains": pubsub.OpContains, "exists": pubsub.OpExists,
+	}
+	o, ok := ops[op]
+	if !ok {
+		return pubsub.Constraint{}, fmt.Errorf("pipeline: unknown operator %q", op)
+	}
+	c := pubsub.Constraint{Attr: attr, Op: o}
+	if o == pubsub.OpExists {
+		return c, nil
+	}
+	switch kind {
+	case "int":
+		i, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return c, fmt.Errorf("pipeline: bad int in %q: %w", expr, err)
+		}
+		c.Val = event.I(i)
+	case "float":
+		fl, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return c, fmt.Errorf("pipeline: bad float in %q: %w", expr, err)
+		}
+		c.Val = event.F(fl)
+	case "bool":
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return c, fmt.Errorf("pipeline: bad bool in %q: %w", expr, err)
+		}
+		c.Val = event.B(b)
+	default:
+		c.Val = event.S(val)
+	}
+	return c, nil
+}
+
+// Name implements Component.
+func (f *AttrFilter) Name() string { return f.name }
+
+// Put implements Component.
+func (f *AttrFilter) Put(ev *event.Event) {
+	if f.filter.Matches(ev) {
+		f.Passed++
+		f.Emit(ev)
+		return
+	}
+	f.Culled++
+}
+
+// TypeFilter forwards only events of one type.
+type TypeFilter struct {
+	Outlet
+	name string
+	typ  string
+}
+
+func newTypeFilter(name string, params map[string]string, _ Deps) (Component, error) {
+	typ, ok := params["type"]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: filter.type requires param type")
+	}
+	return &TypeFilter{name: name, typ: typ}, nil
+}
+
+// Name implements Component.
+func (f *TypeFilter) Name() string { return f.name }
+
+// Put implements Component.
+func (f *TypeFilter) Put(ev *event.Event) {
+	if ev.Type == f.typ {
+		f.Emit(ev)
+	}
+}
+
+// --- buffer ---------------------------------------------------------------------
+
+// Buffer accumulates events and releases them when full or when the flush
+// timer fires (§4.2 lists buffering among the standard components).
+type Buffer struct {
+	Outlet
+	name    string
+	size    int
+	every   time.Duration
+	clock   vclock.Clock
+	pending []*event.Event
+	Flushes uint64
+}
+
+func newBuffer(name string, params map[string]string, deps Deps) (Component, error) {
+	size, err := intParam(params, "size", 16)
+	if err != nil {
+		return nil, err
+	}
+	every, err := durParam(params, "flushMs", 500*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{name: name, size: size, every: every, clock: deps.Clock}
+	if b.clock != nil && every > 0 {
+		var tick func()
+		tick = func() {
+			b.Flush()
+			b.clock.After(b.every, tick)
+		}
+		b.clock.After(b.every, tick)
+	}
+	return b, nil
+}
+
+// Name implements Component.
+func (b *Buffer) Name() string { return b.name }
+
+// Put implements Component.
+func (b *Buffer) Put(ev *event.Event) {
+	b.pending = append(b.pending, ev)
+	if len(b.pending) >= b.size {
+		b.Flush()
+	}
+}
+
+// Flush releases all buffered events downstream.
+func (b *Buffer) Flush() {
+	if len(b.pending) == 0 {
+		return
+	}
+	b.Flushes++
+	out := b.pending
+	b.pending = nil
+	for _, ev := range out {
+		b.Emit(ev)
+	}
+}
+
+// --- throttle -------------------------------------------------------------------
+
+// Throttle drops events beyond a rate limit per window.
+type Throttle struct {
+	Outlet
+	name        string
+	max         int
+	window      time.Duration
+	clock       vclock.Clock
+	windowStart time.Duration
+	count       int
+	Dropped     uint64
+}
+
+func newThrottle(name string, params map[string]string, deps Deps) (Component, error) {
+	max, err := intParam(params, "max", 100)
+	if err != nil {
+		return nil, err
+	}
+	window, err := durParam(params, "windowMs", time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if deps.Clock == nil {
+		return nil, fmt.Errorf("pipeline: throttle requires a clock")
+	}
+	return &Throttle{name: name, max: max, window: window, clock: deps.Clock}, nil
+}
+
+// Name implements Component.
+func (t *Throttle) Name() string { return t.name }
+
+// Put implements Component.
+func (t *Throttle) Put(ev *event.Event) {
+	now := t.clock.Now()
+	if now-t.windowStart >= t.window {
+		t.windowStart = now
+		t.count = 0
+	}
+	if t.count >= t.max {
+		t.Dropped++
+		return
+	}
+	t.count++
+	t.Emit(ev)
+}
+
+// --- aggregator -----------------------------------------------------------------
+
+// Averager emits a derived event with the windowed mean of an attribute —
+// synthesising a higher-level event from low-level readings.
+type Averager struct {
+	Outlet
+	name   string
+	attr   string
+	window time.Duration
+	clock  vclock.Clock
+	sum    float64
+	n      int
+	outTyp string
+	seq    uint64
+}
+
+func newAverager(name string, params map[string]string, deps Deps) (Component, error) {
+	attr, ok := params["attr"]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: aggregate.avg requires param attr")
+	}
+	window, err := durParam(params, "windowMs", time.Second)
+	if err != nil {
+		return nil, err
+	}
+	outTyp := params["out"]
+	if outTyp == "" {
+		outTyp = "aggregate.avg"
+	}
+	if deps.Clock == nil {
+		return nil, fmt.Errorf("pipeline: aggregate.avg requires a clock")
+	}
+	a := &Averager{name: name, attr: attr, window: window, clock: deps.Clock, outTyp: outTyp}
+	var tick func()
+	tick = func() {
+		a.flush()
+		a.clock.After(a.window, tick)
+	}
+	a.clock.After(a.window, tick)
+	return a, nil
+}
+
+// Name implements Component.
+func (a *Averager) Name() string { return a.name }
+
+// Put implements Component.
+func (a *Averager) Put(ev *event.Event) {
+	if v, ok := ev.Get(a.attr); ok {
+		if f, num := v.Num(); num {
+			a.sum += f
+			a.n++
+		}
+	}
+}
+
+func (a *Averager) flush() {
+	if a.n == 0 {
+		return
+	}
+	a.seq++
+	out := event.New(a.outTyp, a.name, a.clock.Now()).
+		Set("mean", event.F(a.sum/float64(a.n))).
+		Set("count", event.I(int64(a.n))).
+		Stamp(a.seq)
+	a.sum, a.n = 0, 0
+	a.Emit(out)
+}
+
+// --- counter --------------------------------------------------------------------
+
+// Counter counts and forwards events (a probe, §4.6).
+type Counter struct {
+	Outlet
+	name  string
+	Count uint64
+}
+
+func newCounter(name string, _ map[string]string, _ Deps) (Component, error) {
+	return &Counter{name: name}, nil
+}
+
+// Name implements Component.
+func (c *Counter) Name() string { return c.name }
+
+// Put implements Component.
+func (c *Counter) Put(ev *event.Event) {
+	c.Count++
+	c.Emit(ev)
+}
+
+// --- remote connector -----------------------------------------------------------
+
+// RemoteConnector ships events to a pipeline on another node via the
+// put(event) network interface.
+type RemoteConnector struct {
+	name     string
+	ep       netapi.Endpoint
+	target   ids.ID
+	pipeline string
+	Sent     uint64
+}
+
+func newRemoteConnector(name string, params map[string]string, deps Deps) (Component, error) {
+	if deps.Endpoint == nil {
+		return nil, fmt.Errorf("pipeline: remote connector requires a network endpoint")
+	}
+	targetStr, ok := params["target"]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: remote connector requires param target")
+	}
+	target, err := ids.Parse(targetStr)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: bad target: %w", err)
+	}
+	pl, ok := params["pipeline"]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: remote connector requires param pipeline")
+	}
+	return &RemoteConnector{name: name, ep: deps.Endpoint, target: target, pipeline: pl}, nil
+}
+
+// Name implements Component.
+func (r *RemoteConnector) Name() string { return r.name }
+
+// Put implements Component.
+func (r *RemoteConnector) Put(ev *event.Event) {
+	r.Sent++
+	r.ep.Send(r.target, &PutMsg{Pipeline: r.pipeline, Event: ev})
+}
+
+// --- deliver --------------------------------------------------------------------
+
+// Deliver hands events to the node-level sink (matching engine, pub/sub
+// bridge, test collector).
+type Deliver struct {
+	name    string
+	deliver func(*event.Event)
+}
+
+func newDeliver(name string, _ map[string]string, deps Deps) (Component, error) {
+	if deps.Deliver == nil {
+		return nil, fmt.Errorf("pipeline: deliver component requires a sink")
+	}
+	return &Deliver{name: name, deliver: deps.Deliver}, nil
+}
+
+// Name implements Component.
+func (d *Deliver) Name() string { return d.name }
+
+// Put implements Component.
+func (d *Deliver) Put(ev *event.Event) { d.deliver(ev) }
+
+// --- publish --------------------------------------------------------------------
+
+// Publish pushes events onto the global event service via the host's
+// pub/sub client (the bridge from pipelines to the Siena-like bus).
+type Publish struct {
+	name    string
+	publish func(*event.Event)
+	Count   uint64
+}
+
+func newPublish(name string, _ map[string]string, deps Deps) (Component, error) {
+	if deps.Publish == nil {
+		return nil, fmt.Errorf("pipeline: publish component requires a publisher")
+	}
+	return &Publish{name: name, publish: deps.Publish}, nil
+}
+
+// Name implements Component.
+func (p *Publish) Name() string { return p.name }
+
+// Put implements Component.
+func (p *Publish) Put(ev *event.Event) {
+	p.Count++
+	p.publish(ev)
+}
+
+// --- map.setattr ----------------------------------------------------------------
+
+// SetAttr stamps a constant attribute onto passing events (cheap
+// enrichment, e.g. tagging the processing region).
+type SetAttr struct {
+	Outlet
+	name string
+	attr string
+	val  event.Value
+}
+
+func newSetAttr(name string, params map[string]string, _ Deps) (Component, error) {
+	attr, ok := params["attr"]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: map.setattr requires param attr")
+	}
+	val, ok := params["value"]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: map.setattr requires param value")
+	}
+	return &SetAttr{name: name, attr: attr, val: event.S(val)}, nil
+}
+
+// Name implements Component.
+func (s *SetAttr) Name() string { return s.name }
+
+// Put implements Component.
+func (s *SetAttr) Put(ev *event.Event) {
+	out := ev.Clone()
+	out.Attrs[s.attr] = s.val
+	s.Emit(out)
+}
+
+// --- param helpers ---------------------------------------------------------------
+
+func intParam(params map[string]string, key string, def int) (int, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: param %s=%q: %w", key, v, err)
+	}
+	return i, nil
+}
+
+func floatParam(params map[string]string, key string, def float64) (float64, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: param %s=%q: %w", key, v, err)
+	}
+	return f, nil
+}
+
+func durParam(params map[string]string, key string, def time.Duration) (time.Duration, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: param %s=%q: %w", key, v, err)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}

@@ -1,0 +1,297 @@
+// Package pipeline implements the paper's distributed XML pipelines
+// (§4.2, Figure 2): the contextual matching engine is partitioned into
+// pipeline components with XML events flowing between them, intra-node and
+// inter-node. Each pipeline exposes the paper's put(event) interface so
+// remote components can push events into it; hardware sensors are wrapped
+// as source components; other components filter, buffer, throttle,
+// aggregate and forward events.
+//
+// Pipelines are assembled from declarative XML specifications by an
+// assembly process (Figure 3), with component behaviour instantiated from
+// a factory registry — the same late-binding mechanism code bundles use.
+package pipeline
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/vclock"
+	"github.com/gloss/active/internal/wire"
+)
+
+// Component consumes events; most components also produce them through an
+// embedded Outlet.
+type Component interface {
+	// Name identifies the component instance within its pipeline.
+	Name() string
+	// Put pushes one event into the component (the paper's put(event)).
+	Put(ev *event.Event)
+}
+
+// Emitter is implemented by components with downstream connections.
+type Emitter interface {
+	ConnectTo(next Component)
+}
+
+// Outlet provides fan-out to downstream components; embed it to implement
+// Emitter.
+type Outlet struct {
+	outs []Component
+}
+
+// ConnectTo adds a downstream component.
+func (o *Outlet) ConnectTo(next Component) { o.outs = append(o.outs, next) }
+
+// Emit forwards an event to every downstream component.
+func (o *Outlet) Emit(ev *event.Event) {
+	for _, c := range o.outs {
+		c.Put(ev)
+	}
+}
+
+// Downstream returns the number of connections (for assembly validation).
+func (o *Outlet) Downstream() int { return len(o.outs) }
+
+// Deps carries the host facilities a component factory may need.
+type Deps struct {
+	Clock vclock.Clock
+	// Endpoint is non-nil when the pipeline runs on a network node; the
+	// remote connector uses it.
+	Endpoint netapi.Endpoint
+	// Deliver hands events to the node-level sink (e.g. the matching
+	// engine or pub/sub bridge); the "deliver" component uses it.
+	Deliver func(*event.Event)
+	// Publish pushes events onto the global event service (pub/sub); the
+	// "publish" component uses it.
+	Publish func(*event.Event)
+}
+
+// Factory instantiates a component from its XML parameters.
+type Factory func(name string, params map[string]string, deps Deps) (Component, error)
+
+// Registry maps component type names to factories.
+type Registry struct {
+	factories map[string]Factory
+}
+
+// NewRegistry returns a registry preloaded with the standard components
+// (filter.*, buffer, throttle, aggregate, counter, remote, deliver).
+func NewRegistry() *Registry {
+	r := &Registry{factories: make(map[string]Factory)}
+	registerStandard(r)
+	return r
+}
+
+// Register adds a factory; re-registration replaces.
+func (r *Registry) Register(typ string, f Factory) { r.factories[typ] = f }
+
+// Names lists registered component types, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New instantiates a component.
+func (r *Registry) New(typ, name string, params map[string]string, deps Deps) (Component, error) {
+	f, ok := r.factories[typ]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: unknown component type %q", typ)
+	}
+	return f(name, params, deps)
+}
+
+// --- declarative assembly ------------------------------------------------------
+
+// Spec is the XML description of a pipeline.
+type Spec struct {
+	XMLName    xml.Name        `xml:"pipeline"`
+	Name       string          `xml:"name,attr"`
+	Components []ComponentSpec `xml:"component"`
+	Links      []LinkSpec      `xml:"link"`
+	Inputs     []InputSpec     `xml:"input"`
+}
+
+// ComponentSpec declares one component instance.
+type ComponentSpec struct {
+	Name   string  `xml:"name,attr"`
+	Type   string  `xml:"type,attr"`
+	Params []Param `xml:"param"`
+}
+
+// Param is a component configuration entry.
+type Param struct {
+	Key   string `xml:"k,attr"`
+	Value string `xml:"v,attr"`
+}
+
+// LinkSpec wires From's outlet to To's input.
+type LinkSpec struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+}
+
+// InputSpec marks a component as a pipeline ingress.
+type InputSpec struct {
+	Component string `xml:"component,attr"`
+}
+
+// ParseSpec reads a pipeline description.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := xml.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("pipeline: parse spec: %w", err)
+	}
+	return &s, nil
+}
+
+// MarshalSpec writes a pipeline description.
+func MarshalSpec(s *Spec) ([]byte, error) { return xml.Marshal(s) }
+
+// Pipeline is an assembled component graph with put(event) ingress.
+type Pipeline struct {
+	name       string
+	components map[string]Component
+	order      []string
+	inputs     []Component
+	eventsIn   uint64
+}
+
+// Name returns the pipeline name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Component looks up a component by name.
+func (p *Pipeline) Component(name string) (Component, bool) {
+	c, ok := p.components[name]
+	return c, ok
+}
+
+// Components lists component names in spec order.
+func (p *Pipeline) Components() []string {
+	out := make([]string, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// Put injects an event at the pipeline's ingress components.
+func (p *Pipeline) Put(ev *event.Event) {
+	p.eventsIn++
+	for _, c := range p.inputs {
+		c.Put(ev)
+	}
+}
+
+// EventsIn reports the number of events injected.
+func (p *Pipeline) EventsIn() uint64 { return p.eventsIn }
+
+// Assemble builds a pipeline from its spec — the paper's "pipeline
+// assembly process" (Figure 3).
+func Assemble(spec *Spec, reg *Registry, deps Deps) (*Pipeline, error) {
+	p := &Pipeline{
+		name:       spec.Name,
+		components: make(map[string]Component, len(spec.Components)),
+	}
+	for _, cs := range spec.Components {
+		if _, dup := p.components[cs.Name]; dup {
+			return nil, fmt.Errorf("pipeline: duplicate component %q", cs.Name)
+		}
+		params := make(map[string]string, len(cs.Params))
+		for _, kv := range cs.Params {
+			params[kv.Key] = kv.Value
+		}
+		c, err := reg.New(cs.Type, cs.Name, params, deps)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: component %q: %w", cs.Name, err)
+		}
+		p.components[cs.Name] = c
+		p.order = append(p.order, cs.Name)
+	}
+	for _, l := range spec.Links {
+		from, ok := p.components[l.From]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: link from unknown component %q", l.From)
+		}
+		to, ok := p.components[l.To]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: link to unknown component %q", l.To)
+		}
+		em, ok := from.(Emitter)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: component %q cannot emit", l.From)
+		}
+		em.ConnectTo(to)
+	}
+	for _, in := range spec.Inputs {
+		c, ok := p.components[in.Component]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: input names unknown component %q", in.Component)
+		}
+		p.inputs = append(p.inputs, c)
+	}
+	if len(p.inputs) == 0 && len(p.order) > 0 {
+		// Default ingress: the first component.
+		p.inputs = append(p.inputs, p.components[p.order[0]])
+	}
+	return p, nil
+}
+
+// --- network runtime -----------------------------------------------------------
+
+// PutMsg pushes an event into a named pipeline on a remote node — the web
+// service put(event) interface of §4.2.
+type PutMsg struct {
+	Pipeline string       `xml:"pipeline,attr"`
+	Event    *event.Event `xml:"event"`
+}
+
+// Kind implements wire.Message.
+func (PutMsg) Kind() string { return "pipeline.put" }
+
+// RegisterMessages records pipeline message types in a wire registry.
+func RegisterMessages(r *wire.Registry) {
+	r.Register(&PutMsg{})
+}
+
+// Runtime hosts named pipelines on a node and serves remote put(event).
+type Runtime struct {
+	ep        netapi.Endpoint
+	pipelines map[string]*Pipeline
+	// RemotePuts counts events received over the network.
+	RemotePuts uint64
+}
+
+// NewRuntime builds a runtime bound to ep.
+func NewRuntime(ep netapi.Endpoint) *Runtime {
+	rt := &Runtime{ep: ep, pipelines: make(map[string]*Pipeline)}
+	ep.Handle("pipeline.put", rt.handlePut)
+	return rt
+}
+
+// Add registers an assembled pipeline.
+func (rt *Runtime) Add(p *Pipeline) { rt.pipelines[p.Name()] = p }
+
+// Remove drops a pipeline.
+func (rt *Runtime) Remove(name string) { delete(rt.pipelines, name) }
+
+// Pipeline looks up a hosted pipeline.
+func (rt *Runtime) Pipeline(name string) (*Pipeline, bool) {
+	p, ok := rt.pipelines[name]
+	return p, ok
+}
+
+func (rt *Runtime) handlePut(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
+	pm := msg.(*PutMsg)
+	p, ok := rt.pipelines[pm.Pipeline]
+	if !ok || pm.Event == nil {
+		return
+	}
+	rt.RemotePuts++
+	p.Put(pm.Event)
+}

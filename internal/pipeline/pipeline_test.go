@@ -1,0 +1,372 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/simnet"
+	"github.com/gloss/active/internal/vclock"
+	"github.com/gloss/active/internal/wire"
+)
+
+// sink collects delivered events.
+type sink struct {
+	name string
+	evs  []*event.Event
+}
+
+func (s *sink) Name() string        { return s.name }
+func (s *sink) Put(ev *event.Event) { s.evs = append(s.evs, ev) }
+func newSink(name string) *sink     { return &sink{name: name} }
+func locEvent(user string, x, y float64, seq uint64) *event.Event {
+	return event.New("gps.location", "gps-"+user, 0).
+		Set("user", event.S(user)).
+		Set("x", event.F(x)).
+		Set("y", event.F(y)).
+		Stamp(seq)
+}
+
+func TestThresholdFilterCullsSmallMoves(t *testing.T) {
+	c, err := newThresholdFilter("f", map[string]string{"km": "1.0"}, Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.(*ThresholdFilter)
+	out := newSink("out")
+	f.ConnectTo(out)
+	f.Put(locEvent("bob", 0, 0, 1))     // first: passes
+	f.Put(locEvent("bob", 0.1, 0, 2))   // 100m: culled
+	f.Put(locEvent("bob", 2.0, 0, 3))   // 2km: passes
+	f.Put(locEvent("anna", 0.1, 0, 4))  // different user, first: passes
+	f.Put(locEvent("anna", 0.15, 0, 5)) // 50m: culled
+	if len(out.evs) != 3 {
+		t.Fatalf("passed %d events, want 3", len(out.evs))
+	}
+	if f.Passed != 3 || f.Culled != 2 {
+		t.Fatalf("counters: passed=%d culled=%d", f.Passed, f.Culled)
+	}
+}
+
+func TestAttrFilter(t *testing.T) {
+	c, err := newAttrFilter("f", map[string]string{
+		"c1": "tempC ge 20 float",
+		"c2": "region eq fife string",
+	}, Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.(*AttrFilter)
+	out := newSink("out")
+	f.ConnectTo(out)
+	hot := event.New("weather.report", "s", 0).Set("tempC", event.F(21)).Set("region", event.S("fife")).Stamp(1)
+	cold := event.New("weather.report", "s", 0).Set("tempC", event.F(12)).Set("region", event.S("fife")).Stamp(2)
+	elsewhere := event.New("weather.report", "s", 0).Set("tempC", event.F(30)).Set("region", event.S("oz")).Stamp(3)
+	f.Put(hot)
+	f.Put(cold)
+	f.Put(elsewhere)
+	if len(out.evs) != 1 || out.evs[0].ID != hot.ID {
+		t.Fatalf("filtering wrong: %d events", len(out.evs))
+	}
+}
+
+func TestAttrFilterBadSpec(t *testing.T) {
+	if _, err := newAttrFilter("f", map[string]string{"c1": "tempC wat 20 float"}, Deps{}); err == nil {
+		t.Fatalf("bad operator accepted")
+	}
+	if _, err := newAttrFilter("f", map[string]string{"c1": "tempC ge abc float"}, Deps{}); err == nil {
+		t.Fatalf("bad number accepted")
+	}
+}
+
+func TestBufferFlushBySizeAndTimer(t *testing.T) {
+	sched := vclock.NewScheduler()
+	c, err := newBuffer("b", map[string]string{"size": "3", "flushMs": "100"}, Deps{Clock: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.(*Buffer)
+	out := newSink("out")
+	b.ConnectTo(out)
+	b.Put(locEvent("u", 0, 0, 1))
+	b.Put(locEvent("u", 1, 0, 2))
+	if len(out.evs) != 0 {
+		t.Fatalf("flushed early")
+	}
+	b.Put(locEvent("u", 2, 0, 3)) // size reached
+	if len(out.evs) != 3 {
+		t.Fatalf("size flush delivered %d", len(out.evs))
+	}
+	b.Put(locEvent("u", 3, 0, 4))
+	sched.RunFor(time.Second) // timer flush
+	if len(out.evs) != 4 {
+		t.Fatalf("timer flush delivered %d", len(out.evs))
+	}
+}
+
+func TestThrottle(t *testing.T) {
+	sched := vclock.NewScheduler()
+	c, err := newThrottle("t", map[string]string{"max": "2", "windowMs": "1000"}, Deps{Clock: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := c.(*Throttle)
+	out := newSink("out")
+	th.ConnectTo(out)
+	for i := 0; i < 5; i++ {
+		th.Put(locEvent("u", float64(i), 0, uint64(i)))
+	}
+	if len(out.evs) != 2 || th.Dropped != 3 {
+		t.Fatalf("window 1: passed=%d dropped=%d", len(out.evs), th.Dropped)
+	}
+	sched.RunUntil(2 * time.Second) // next window
+	th.Put(locEvent("u", 9, 0, 9))
+	if len(out.evs) != 3 {
+		t.Fatalf("event after window not passed")
+	}
+}
+
+func TestAveragerSynthesisesHigherLevelEvent(t *testing.T) {
+	sched := vclock.NewScheduler()
+	c, err := newAverager("avg", map[string]string{"attr": "tempC", "windowMs": "1000", "out": "weather.mean"}, Deps{Clock: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.(*Averager)
+	out := newSink("out")
+	a.ConnectTo(out)
+	for _, temp := range []float64{10, 20, 30} {
+		a.Put(event.New("weather.report", "s", 0).Set("tempC", event.F(temp)).Stamp(uint64(temp)))
+	}
+	sched.RunFor(time.Second)
+	if len(out.evs) != 1 {
+		t.Fatalf("aggregates = %d, want 1", len(out.evs))
+	}
+	if got := out.evs[0].GetNum("mean"); got != 20 {
+		t.Fatalf("mean = %v, want 20", got)
+	}
+	if out.evs[0].Type != "weather.mean" {
+		t.Fatalf("type = %s", out.evs[0].Type)
+	}
+}
+
+const demoSpec = `
+<pipeline name="demo">
+  <component name="thresh" type="filter.threshold"><param k="km" v="0.5"/></component>
+  <component name="count" type="counter"/>
+  <component name="out" type="deliver"/>
+  <link from="thresh" to="count"/>
+  <link from="count" to="out"/>
+  <input component="thresh"/>
+</pipeline>`
+
+func TestAssembleFromXML(t *testing.T) {
+	spec, err := ParseSpec([]byte(demoSpec))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	var delivered []*event.Event
+	deps := Deps{Deliver: func(ev *event.Event) { delivered = append(delivered, ev) }}
+	p, err := Assemble(spec, NewRegistry(), deps)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	p.Put(locEvent("bob", 0, 0, 1))
+	p.Put(locEvent("bob", 0.1, 0, 2)) // culled by threshold
+	p.Put(locEvent("bob", 5, 0, 3))
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d, want 2", len(delivered))
+	}
+	c, _ := p.Component("count")
+	if c.(*Counter).Count != 2 {
+		t.Fatalf("counter = %d", c.(*Counter).Count)
+	}
+	if p.EventsIn() != 3 {
+		t.Fatalf("EventsIn = %d", p.EventsIn())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	reg := NewRegistry()
+	cases := []string{
+		`<pipeline name="x"><component name="a" type="no.such"/></pipeline>`,
+		`<pipeline name="x"><component name="a" type="counter"/><component name="a" type="counter"/></pipeline>`,
+		`<pipeline name="x"><component name="a" type="counter"/><link from="a" to="zz"/></pipeline>`,
+		`<pipeline name="x"><component name="a" type="counter"/><link from="zz" to="a"/></pipeline>`,
+		`<pipeline name="x"><component name="a" type="counter"/><input component="zz"/></pipeline>`,
+	}
+	for i, src := range cases {
+		spec, err := ParseSpec([]byte(src))
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		if _, err := Assemble(spec, reg, Deps{}); err == nil {
+			t.Errorf("case %d: assembly should fail", i)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec, err := ParseSpec([]byte(demoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Components) != 3 || len(again.Links) != 2 || again.Name != "demo" {
+		t.Fatalf("round trip lost structure: %+v", again)
+	}
+}
+
+// TestDistributedPipeline reproduces Figure 2: a pipeline spanning two
+// nodes, with the upstream half shipping events to the downstream half
+// through the put(event) web-service interface.
+func TestDistributedPipeline(t *testing.T) {
+	w := simnet.NewWorld(simnet.Config{Seed: 1})
+	reg := wire.NewRegistry()
+	RegisterMessages(reg)
+	nodeA := w.NewNode(ids.FromString("node-a"), "eu", netapi.Coord{})
+	nodeB := w.NewNode(ids.FromString("node-b"), "us", netapi.Coord{X: 4000})
+
+	// Downstream node B: counting sink.
+	rtB := NewRuntime(nodeB)
+	var received []*event.Event
+	specB := `
+<pipeline name="sink">
+  <component name="count" type="counter"/>
+  <component name="out" type="deliver"/>
+  <link from="count" to="out"/>
+</pipeline>`
+	sb, err := ParseSpec([]byte(specB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Assemble(sb, NewRegistry(), Deps{
+		Clock:   nodeB.Clock(),
+		Deliver: func(ev *event.Event) { received = append(received, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB.Add(pb)
+
+	// Upstream node A: threshold filter → remote connector to B.
+	specA := `
+<pipeline name="src">
+  <component name="thresh" type="filter.threshold"><param k="km" v="0.5"/></component>
+  <component name="ship" type="remote">
+    <param k="target" v="` + nodeB.ID().String() + `"/>
+    <param k="pipeline" v="sink"/>
+  </component>
+  <link from="thresh" to="ship"/>
+</pipeline>`
+	sa, err := ParseSpec([]byte(specA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Assemble(sa, NewRegistry(), Deps{Clock: nodeA.Clock(), Endpoint: nodeA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewRuntime(nodeA).Add(pa)
+
+	pa.Put(locEvent("bob", 0, 0, 1))
+	pa.Put(locEvent("bob", 0.1, 0, 2)) // culled before the network
+	pa.Put(locEvent("bob", 3, 0, 3))
+	w.RunFor(5 * time.Second)
+
+	if len(received) != 2 {
+		t.Fatalf("remote sink received %d, want 2", len(received))
+	}
+	if rtB.RemotePuts != 2 {
+		t.Fatalf("RemotePuts = %d", rtB.RemotePuts)
+	}
+	if received[0].GetString("user") != "bob" {
+		t.Fatalf("event content lost in transit")
+	}
+}
+
+func TestSetAttrDoesNotMutateOriginal(t *testing.T) {
+	c, err := newSetAttr("s", map[string]string{"attr": "region", "value": "eu"}, Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := c.(*SetAttr)
+	out := newSink("out")
+	sa.ConnectTo(out)
+	orig := locEvent("bob", 0, 0, 1)
+	sa.Put(orig)
+	if _, ok := orig.Attrs["region"]; ok {
+		t.Fatalf("original event mutated")
+	}
+	if out.evs[0].GetString("region") != "eu" {
+		t.Fatalf("attribute not set on copy")
+	}
+}
+
+func TestTypeFilter(t *testing.T) {
+	c, err := newTypeFilter("f", map[string]string{"type": "weather.report"}, Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.(*TypeFilter)
+	out := newSink("out")
+	f.ConnectTo(out)
+	f.Put(event.New("weather.report", "s", 0).Stamp(1))
+	f.Put(event.New("gps.location", "s", 0).Stamp(2))
+	if len(out.evs) != 1 || out.evs[0].Type != "weather.report" {
+		t.Fatalf("type filter passed %d events", len(out.evs))
+	}
+	if _, err := newTypeFilter("f", nil, Deps{}); err == nil {
+		t.Fatal("missing type param accepted")
+	}
+}
+
+func TestPublishComponent(t *testing.T) {
+	var published []*event.Event
+	deps := Deps{Publish: func(ev *event.Event) { published = append(published, ev) }}
+	c, err := newPublish("p", nil, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(locEvent("u", 1, 2, 1))
+	if len(published) != 1 {
+		t.Fatalf("published %d", len(published))
+	}
+	if c.(*Publish).Count != 1 {
+		t.Fatalf("count = %d", c.(*Publish).Count)
+	}
+	if _, err := newPublish("p", nil, Deps{}); err == nil {
+		t.Fatal("publish without publisher accepted")
+	}
+}
+
+func TestRuntimeAddRemove(t *testing.T) {
+	w := simnet.NewWorld(simnet.Config{Seed: 3})
+	n := w.NewNode(ids.FromString("rt"), "eu", netapi.Coord{})
+	rt := NewRuntime(n)
+	spec, err := ParseSpec([]byte(`<pipeline name="p"><component name="c" type="counter"/></pipeline>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Assemble(spec, NewRegistry(), Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Add(p)
+	if _, ok := rt.Pipeline("p"); !ok {
+		t.Fatal("pipeline not registered")
+	}
+	rt.Remove("p")
+	if _, ok := rt.Pipeline("p"); ok {
+		t.Fatal("pipeline not removed")
+	}
+}

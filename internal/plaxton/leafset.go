@@ -1,0 +1,141 @@
+package plaxton
+
+import (
+	"github.com/gloss/active/internal/ids"
+)
+
+// leafSet maintains the L/2 numerically closest node IDs on each side of
+// the local node on the identifier ring, per Pastry.
+type leafSet struct {
+	self ids.ID
+	half int
+	cw   []ids.ID // successors, sorted by clockwise distance from self
+	ccw  []ids.ID // predecessors, sorted by counter-clockwise distance
+}
+
+func newLeafSet(self ids.ID, half int) *leafSet {
+	return &leafSet{self: self, half: half}
+}
+
+// insert adds id to the leaf set if it belongs; reports whether membership
+// changed.
+func (l *leafSet) insert(id ids.ID) bool {
+	if id == l.self {
+		return false
+	}
+	changed := false
+	if insertRanked(&l.cw, id, l.half, func(a, b ids.ID) bool {
+		return ids.Less(ids.Sub(a, l.self), ids.Sub(b, l.self))
+	}) {
+		changed = true
+	}
+	if insertRanked(&l.ccw, id, l.half, func(a, b ids.ID) bool {
+		return ids.Less(ids.Sub(l.self, a), ids.Sub(l.self, b))
+	}) {
+		changed = true
+	}
+	return changed
+}
+
+// insertRanked inserts id into the slice ordered by less, keeping at most
+// max entries. Reports whether the slice changed.
+func insertRanked(s *[]ids.ID, id ids.ID, max int, less func(a, b ids.ID) bool) bool {
+	for _, x := range *s {
+		if x == id {
+			return false
+		}
+	}
+	pos := len(*s)
+	for i, x := range *s {
+		if less(id, x) {
+			pos = i
+			break
+		}
+	}
+	if pos >= max {
+		return false
+	}
+	*s = append(*s, ids.Zero)
+	copy((*s)[pos+1:], (*s)[pos:])
+	(*s)[pos] = id
+	if len(*s) > max {
+		*s = (*s)[:max]
+	}
+	return true
+}
+
+// remove drops id from both sides; reports whether anything changed.
+func (l *leafSet) remove(id ids.ID) bool {
+	changed := false
+	for _, side := range []*[]ids.ID{&l.cw, &l.ccw} {
+		for i, x := range *side {
+			if x == id {
+				*side = append((*side)[:i], (*side)[i+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// members returns the union of both sides, deduplicated, in deterministic
+// order (cw then ccw).
+func (l *leafSet) members() []ids.ID {
+	out := make([]ids.ID, 0, len(l.cw)+len(l.ccw))
+	seen := make(map[ids.ID]bool, len(l.cw)+len(l.ccw))
+	for _, id := range l.cw {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range l.ccw {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// contains reports leaf membership.
+func (l *leafSet) contains(id ids.ID) bool {
+	for _, x := range l.cw {
+		if x == id {
+			return true
+		}
+	}
+	for _, x := range l.ccw {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// inRange reports whether key falls within the ring segment spanned by
+// the leaf set (from the farthest predecessor to the farthest successor
+// through self). With an empty side the segment degenerates and the local
+// node is the best known root.
+func (l *leafSet) inRange(key ids.ID) bool {
+	if len(l.cw) == 0 || len(l.ccw) == 0 {
+		return true
+	}
+	lo := l.ccw[len(l.ccw)-1] // farthest predecessor
+	hi := l.cw[len(l.cw)-1]   // farthest successor
+	// Segment (lo, hi] walking clockwise includes self.
+	return key == lo || ids.Between(lo, key, hi)
+}
+
+// closest returns the member (or self) numerically closest to key on the
+// ring, ties broken by smaller ID.
+func (l *leafSet) closest(key ids.ID) ids.ID {
+	best := l.self
+	for _, id := range l.members() {
+		if ids.Closer(key, id, best) {
+			best = id
+		}
+	}
+	return best
+}

@@ -1,0 +1,111 @@
+package plaxton
+
+import (
+	"fmt"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/wire"
+)
+
+// RouteMsg wraps an application message being routed toward a key. The
+// payload travels as encoded XML so the overlay is transport-agnostic.
+type RouteMsg struct {
+	Key       string     `xml:"key,attr"`
+	Origin    string     `xml:"origin,attr"`
+	Hops      int        `xml:"hops,attr"`
+	Trace     bool       `xml:"trace,attr,omitempty"`
+	Path      []string   `xml:"path>node,omitempty"`
+	InnerKind string     `xml:"ik,attr"`
+	Inner     wire.Bytes `xml:"inner"`
+}
+
+// Kind implements wire.Message.
+func (RouteMsg) Kind() string { return "plaxton.route" }
+
+// JoinMsg is routed toward the joining node's own ID; every hop pushes its
+// state to the newcomer, and the root completes the join.
+type JoinMsg struct {
+	Joiner string `xml:"joiner,attr"`
+}
+
+// Kind implements wire.Message.
+func (JoinMsg) Kind() string { return "plaxton.join" }
+
+// StateMsg transfers a node's routing state to a joining node.
+type StateMsg struct {
+	From   string   `xml:"from,attr"`
+	Done   bool     `xml:"done,attr"` // true when sent by the join root
+	Leaves []string `xml:"leaf"`
+	Table  []string `xml:"entry"`
+}
+
+// Kind implements wire.Message.
+func (StateMsg) Kind() string { return "plaxton.state" }
+
+// AnnounceMsg tells existing nodes about a newly joined node.
+type AnnounceMsg struct {
+	Node string `xml:"node,attr"`
+}
+
+// Kind implements wire.Message.
+func (AnnounceMsg) Kind() string { return "plaxton.announce" }
+
+// PingMsg probes liveness (request).
+type PingMsg struct{}
+
+// Kind implements wire.Message.
+func (PingMsg) Kind() string { return "plaxton.ping" }
+
+// PongMsg answers a ping.
+type PongMsg struct{}
+
+// Kind implements wire.Message.
+func (PongMsg) Kind() string { return "plaxton.pong" }
+
+// LeafReqMsg asks a node for its leaf set (request; used for repair).
+type LeafReqMsg struct{}
+
+// Kind implements wire.Message.
+func (LeafReqMsg) Kind() string { return "plaxton.leafreq" }
+
+// LeafReplyMsg returns a node's leaf set members.
+type LeafReplyMsg struct {
+	Leaves []string `xml:"leaf"`
+}
+
+// Kind implements wire.Message.
+func (LeafReplyMsg) Kind() string { return "plaxton.leafreply" }
+
+// RegisterMessages records all overlay message types in a wire registry.
+func RegisterMessages(r *wire.Registry) {
+	r.Register(&RouteMsg{})
+	r.Register(&JoinMsg{})
+	r.Register(&StateMsg{})
+	r.Register(&AnnounceMsg{})
+	r.Register(&PingMsg{})
+	r.Register(&PongMsg{})
+	r.Register(&LeafReqMsg{})
+	r.Register(&LeafReplyMsg{})
+}
+
+// idsToStrings converts identifiers for XML transport.
+func idsToStrings(in []ids.ID) []string {
+	out := make([]string, len(in))
+	for i, id := range in {
+		out[i] = id.String()
+	}
+	return out
+}
+
+// stringsToIDs parses identifiers, failing on the first malformed entry.
+func stringsToIDs(in []string) ([]ids.ID, error) {
+	out := make([]ids.ID, len(in))
+	for i, s := range in {
+		id, err := ids.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("plaxton: bad id list entry %d: %w", i, err)
+		}
+		out[i] = id
+	}
+	return out, nil
+}

@@ -1,0 +1,578 @@
+// Package plaxton implements the deterministic structured overlay the
+// paper's storage architecture relies on (§3, §4.5): Plaxton-style prefix
+// routing with Pastry's concrete node state — a digit-indexed routing
+// table plus a leaf set of numerically adjacent nodes. Routing reaches the
+// live node whose ID is numerically closest to the target key in
+// O(log₁₆ N) hops, which is what makes the P2P storage layer's document
+// discovery deterministic ("data can always be found").
+package plaxton
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/vclock"
+	"github.com/gloss/active/internal/wire"
+)
+
+// Options configure an overlay node.
+type Options struct {
+	// LeafHalf is the number of leaf-set entries maintained on each side
+	// of the local node. Default 8.
+	LeafHalf int
+	// HeartbeatInterval is the period of leaf-set liveness probing and
+	// routing-table maintenance. Default 2s. Zero disables maintenance
+	// (useful for static benchmark worlds).
+	HeartbeatInterval time.Duration
+	// ProbeTimeout bounds liveness probes. Default 500ms.
+	ProbeTimeout time.Duration
+	// JoinTimeout bounds the join protocol. Default 10s.
+	JoinTimeout time.Duration
+	// Logger receives overlay diagnostics; nil discards them.
+	Logger *slog.Logger
+}
+
+func (o *Options) applyDefaults() {
+	if o.LeafHalf == 0 {
+		o.LeafHalf = 8
+	}
+	if o.ProbeTimeout == 0 {
+		o.ProbeTimeout = 500 * time.Millisecond
+	}
+	if o.JoinTimeout == 0 {
+		o.JoinTimeout = 10 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+}
+
+// RouteInfo describes a routed message's journey so far.
+type RouteInfo struct {
+	// Key is the routing target.
+	Key ids.ID
+	// Origin is the node that initiated the route.
+	Origin ids.ID
+	// Hops is the number of network hops taken so far.
+	Hops int
+	// Path lists the nodes traversed (only when the route was traced).
+	Path []ids.ID
+}
+
+// DeliverFunc receives a message routed to this node.
+type DeliverFunc func(info RouteInfo, msg wire.Message)
+
+// ForwardHook observes (and may consume) a message passing through this
+// node on its way to key. Returning true stops the routing — the hook has
+// handled the message (this is how promiscuous caching answers reads
+// mid-path, §4.5).
+type ForwardHook func(info RouteInfo, msg wire.Message) bool
+
+// Stats counts routing activity.
+type Stats struct {
+	Forwarded   uint64 // messages passed to a next hop
+	Delivered   uint64 // messages delivered locally
+	HookHandled uint64 // messages consumed by the forward hook
+	JoinsServed uint64
+}
+
+// Overlay is one overlay node.
+type Overlay struct {
+	ep     netapi.Endpoint
+	reg    *wire.Registry
+	opts   Options
+	log    *slog.Logger
+	self   ids.ID
+	table  [ids.Digits][16]ids.ID
+	leaves *leafSet
+
+	handlers    map[string]DeliverFunc
+	hook        ForwardHook
+	leavesDirty []func()
+
+	joined    bool
+	joinDone  func(error)
+	joinTimer vclock.Timer
+
+	probing   map[ids.ID]bool
+	probeNext int // round-robin index over table rows for maintenance
+	// dead quarantines recently failed nodes (ID → expiry) so that leaf
+	// repair gossip cannot reinstate them before every neighbour has
+	// purged them — otherwise two nodes with staggered heartbeats can
+	// re-teach each other a dead node forever.
+	dead  map[ids.ID]time.Duration
+	stats Stats
+}
+
+// New constructs an overlay node bound to ep. Call CreateNetwork on the
+// first node and Join on the rest.
+func New(ep netapi.Endpoint, reg *wire.Registry, opts Options) *Overlay {
+	opts.applyDefaults()
+	o := &Overlay{
+		ep:       ep,
+		reg:      reg,
+		opts:     opts,
+		log:      opts.Logger.With("node", ep.ID().Short()),
+		self:     ep.ID(),
+		leaves:   newLeafSet(ep.ID(), opts.LeafHalf),
+		handlers: make(map[string]DeliverFunc),
+		probing:  make(map[ids.ID]bool),
+		dead:     make(map[ids.ID]time.Duration),
+	}
+	ep.Handle("plaxton.route", o.handleRoute)
+	ep.Handle("plaxton.join", o.handleJoin)
+	ep.Handle("plaxton.state", o.handleState)
+	ep.Handle("plaxton.announce", o.handleAnnounce)
+	ep.Handle("plaxton.ping", func(ctx netapi.Ctx, from ids.ID, _ wire.Message) {
+		o.learn(from)
+		ctx.Reply(&PongMsg{})
+	})
+	ep.Handle("plaxton.leafreq", func(ctx netapi.Ctx, from ids.ID, _ wire.Message) {
+		o.learn(from)
+		ctx.Reply(&LeafReplyMsg{Leaves: idsToStrings(o.leaves.members())})
+	})
+	return o
+}
+
+// ID returns the node's overlay identifier.
+func (o *Overlay) ID() ids.ID { return o.self }
+
+// Joined reports whether the node participates in the overlay.
+func (o *Overlay) Joined() bool { return o.joined }
+
+// Stats returns a snapshot of routing counters.
+func (o *Overlay) Stats() Stats { return o.stats }
+
+// Leaves returns the current leaf-set members.
+func (o *Overlay) Leaves() []ids.ID { return o.leaves.members() }
+
+// OnDeliver registers the upcall for routed messages of the given payload
+// kind.
+func (o *Overlay) OnDeliver(kind string, fn DeliverFunc) { o.handlers[kind] = fn }
+
+// SetForwardHook installs the mid-path interception hook.
+func (o *Overlay) SetForwardHook(h ForwardHook) { o.hook = h }
+
+// OnLeavesChanged registers a callback invoked whenever leaf-set
+// membership changes (the storage layer re-replicates on this signal).
+func (o *Overlay) OnLeavesChanged(fn func()) {
+	o.leavesDirty = append(o.leavesDirty, fn)
+}
+
+// CreateNetwork bootstraps a brand-new overlay consisting of this node.
+func (o *Overlay) CreateNetwork() {
+	o.joined = true
+	o.startMaintenance()
+}
+
+// Join enters the overlay via the given bootstrap node. done fires with
+// nil on success or an error (e.g. timeout when the bootstrap is dead).
+func (o *Overlay) Join(bootstrap ids.ID, done func(error)) {
+	if o.joined {
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	o.joinDone = done
+	o.joinTimer = o.ep.Clock().After(o.opts.JoinTimeout, func() {
+		if !o.joined {
+			o.finishJoin(fmt.Errorf("plaxton: join via %s timed out", bootstrap.Short()))
+		}
+	})
+	o.ep.Send(bootstrap, &JoinMsg{Joiner: o.self.String()})
+}
+
+func (o *Overlay) finishJoin(err error) {
+	if o.joinTimer != nil {
+		o.joinTimer.Stop()
+		o.joinTimer = nil
+	}
+	done := o.joinDone
+	o.joinDone = nil
+	if err == nil {
+		o.joined = true
+		o.startMaintenance()
+	}
+	if done != nil {
+		done(err)
+	}
+}
+
+// --- routing -----------------------------------------------------------------
+
+// Route sends msg toward the live node numerically closest to key.
+// Local delivery happens synchronously when this node is the root.
+func (o *Overlay) Route(key ids.ID, msg wire.Message) error {
+	return o.route(key, msg, false)
+}
+
+// RouteTraced is Route, but records the identities of the nodes the
+// message traverses; the delivery upcall sees them in RouteInfo.Path.
+// The storage layer uses this for path caching.
+func (o *Overlay) RouteTraced(key ids.ID, msg wire.Message) error {
+	return o.route(key, msg, true)
+}
+
+func (o *Overlay) route(key ids.ID, msg wire.Message, trace bool) error {
+	inner, err := o.reg.Encode(&wire.Envelope{From: o.self, To: o.self, Msg: msg})
+	if err != nil {
+		return fmt.Errorf("plaxton: encode payload: %w", err)
+	}
+	rm := &RouteMsg{
+		Key:       key.String(),
+		Origin:    o.self.String(),
+		Hops:      0,
+		Trace:     trace,
+		InnerKind: msg.Kind(),
+		Inner:     inner,
+	}
+	o.routeStep(key, o.self, rm)
+	return nil
+}
+
+func (o *Overlay) handleRoute(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	o.learn(from)
+	rm := msg.(*RouteMsg)
+	key, err := ids.Parse(rm.Key)
+	if err != nil {
+		o.log.Warn("bad route key", "err", err)
+		return
+	}
+	origin, err := ids.Parse(rm.Origin)
+	if err != nil {
+		o.log.Warn("bad route origin", "err", err)
+		return
+	}
+	rm.Hops++
+	if rm.Trace {
+		rm.Path = append(rm.Path, o.self.String())
+	}
+	o.routeStep(key, origin, rm)
+}
+
+// routeStep decides the next hop for rm, or delivers it locally.
+func (o *Overlay) routeStep(key ids.ID, origin ids.ID, rm *RouteMsg) {
+	if o.hook != nil {
+		decoded, err := o.decodeInner(rm)
+		if err == nil && o.hook(o.routeInfo(key, origin, rm), decoded) {
+			o.stats.HookHandled++
+			return
+		}
+	}
+	next := o.nextHop(key)
+	if next == o.self {
+		o.deliverLocal(key, origin, rm)
+		return
+	}
+	o.stats.Forwarded++
+	o.ep.Send(next, rm)
+}
+
+// routeInfo assembles the delivery metadata for rm.
+func (o *Overlay) routeInfo(key ids.ID, origin ids.ID, rm *RouteMsg) RouteInfo {
+	info := RouteInfo{Key: key, Origin: origin, Hops: rm.Hops}
+	if rm.Trace {
+		path, err := stringsToIDs(rm.Path)
+		if err == nil {
+			info.Path = path
+		}
+	}
+	return info
+}
+
+// nextHop implements the Pastry routing rule.
+func (o *Overlay) nextHop(key ids.ID) ids.ID { return o.nextHopEx(key, ids.Zero) }
+
+// nextHopEx is nextHop with one candidate excluded — used by the join
+// protocol, where the joiner itself must never be chosen as the next hop.
+func (o *Overlay) nextHopEx(key ids.ID, exclude ids.ID) ids.ID {
+	if key == o.self {
+		return o.self
+	}
+	if o.leaves.inRange(key) {
+		best := o.self
+		for _, id := range o.leaves.members() {
+			if id != exclude && ids.Closer(key, id, best) {
+				best = id
+			}
+		}
+		return best
+	}
+	l := ids.CommonPrefixLen(key, o.self)
+	d := key.Digit(l)
+	if e := o.table[l][d]; !e.IsZero() && e != exclude {
+		return e
+	}
+	// Rare case: any known node with an equal-or-longer shared prefix
+	// that is numerically closer than us.
+	best := o.self
+	consider := func(id ids.ID) {
+		if id.IsZero() || id == o.self || id == exclude {
+			return
+		}
+		if ids.CommonPrefixLen(key, id) >= l && ids.Closer(key, id, best) {
+			best = id
+		}
+	}
+	for _, id := range o.leaves.members() {
+		consider(id)
+	}
+	for r := range o.table {
+		for c := range o.table[r] {
+			consider(o.table[r][c])
+		}
+	}
+	return best
+}
+
+func (o *Overlay) decodeInner(rm *RouteMsg) (wire.Message, error) {
+	env, err := o.reg.Decode(rm.Inner)
+	if err != nil {
+		return nil, err
+	}
+	if env.Msg == nil {
+		return nil, fmt.Errorf("plaxton: empty routed payload")
+	}
+	return env.Msg, nil
+}
+
+func (o *Overlay) deliverLocal(key ids.ID, origin ids.ID, rm *RouteMsg) {
+	h, ok := o.handlers[rm.InnerKind]
+	if !ok {
+		o.log.Warn("no deliver handler", "kind", rm.InnerKind)
+		return
+	}
+	decoded, err := o.decodeInner(rm)
+	if err != nil {
+		o.log.Warn("undecodable routed payload", "kind", rm.InnerKind, "err", err)
+		return
+	}
+	o.stats.Delivered++
+	h(o.routeInfo(key, origin, rm), decoded)
+}
+
+// --- state learning -----------------------------------------------------------
+
+// learn opportunistically inserts a node into the routing state.
+func (o *Overlay) learn(id ids.ID) {
+	if id == o.self || id.IsZero() {
+		return
+	}
+	if exp, quarantined := o.dead[id]; quarantined {
+		if o.ep.Clock().Now() < exp {
+			return
+		}
+		delete(o.dead, id)
+	}
+	if o.leaves.insert(id) {
+		o.notifyLeaves()
+	}
+	r := ids.CommonPrefixLen(id, o.self)
+	if r < ids.Digits {
+		c := id.Digit(r)
+		if o.table[r][c].IsZero() {
+			o.table[r][c] = id
+		}
+	}
+}
+
+// forget removes a failed node everywhere and quarantines it against
+// reinsertion by repair gossip.
+func (o *Overlay) forget(id ids.ID) {
+	quarantine := 4 * o.opts.HeartbeatInterval
+	if quarantine <= 0 {
+		quarantine = 10 * time.Second
+	}
+	o.dead[id] = o.ep.Clock().Now() + quarantine
+	changed := o.leaves.remove(id)
+	for r := range o.table {
+		for c := range o.table[r] {
+			if o.table[r][c] == id {
+				o.table[r][c] = ids.Zero
+			}
+		}
+	}
+	if changed {
+		o.notifyLeaves()
+		o.repairLeaves()
+	}
+}
+
+func (o *Overlay) notifyLeaves() {
+	for _, fn := range o.leavesDirty {
+		fn()
+	}
+}
+
+// --- join protocol --------------------------------------------------------------
+
+func (o *Overlay) handleJoin(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	jm := msg.(*JoinMsg)
+	joiner, err := ids.Parse(jm.Joiner)
+	if err != nil {
+		o.log.Warn("bad joiner id", "err", err)
+		return
+	}
+	// Learn the previous hop, but never the joiner itself before routing:
+	// the join must reach the node that is currently numerically closest,
+	// not shortcut to the newcomer.
+	if from != joiner {
+		o.learn(from)
+	}
+	o.stats.JoinsServed++
+	next := o.nextHopEx(joiner, joiner)
+	done := next == o.self
+	o.ep.Send(joiner, &StateMsg{
+		From:   o.self.String(),
+		Done:   done,
+		Leaves: idsToStrings(o.leaves.members()),
+		Table:  idsToStrings(o.tableEntries()),
+	})
+	if !done {
+		o.ep.Send(next, jm)
+	}
+	o.learn(joiner)
+}
+
+func (o *Overlay) tableEntries() []ids.ID {
+	var out []ids.ID
+	for r := range o.table {
+		for c := range o.table[r] {
+			if !o.table[r][c].IsZero() {
+				out = append(out, o.table[r][c])
+			}
+		}
+	}
+	return out
+}
+
+func (o *Overlay) handleState(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	sm := msg.(*StateMsg)
+	o.learn(from)
+	leaves, err := stringsToIDs(sm.Leaves)
+	if err != nil {
+		o.log.Warn("bad state leaves", "err", err)
+		return
+	}
+	table, err := stringsToIDs(sm.Table)
+	if err != nil {
+		o.log.Warn("bad state table", "err", err)
+		return
+	}
+	for _, id := range leaves {
+		o.learn(id)
+	}
+	for _, id := range table {
+		o.learn(id)
+	}
+	if sm.Done && !o.joined {
+		// Announce ourselves to everything we learned about.
+		for _, id := range o.allKnown() {
+			o.ep.Send(id, &AnnounceMsg{Node: o.self.String()})
+		}
+		o.finishJoin(nil)
+	}
+}
+
+func (o *Overlay) handleAnnounce(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	am := msg.(*AnnounceMsg)
+	node, err := ids.Parse(am.Node)
+	if err != nil {
+		o.log.Warn("bad announce", "err", err)
+		return
+	}
+	o.learn(from)
+	o.learn(node)
+}
+
+// allKnown returns every node in the routing state, deterministically.
+func (o *Overlay) allKnown() []ids.ID {
+	seen := make(map[ids.ID]bool)
+	var out []ids.ID
+	add := func(id ids.ID) {
+		if !id.IsZero() && id != o.self && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range o.leaves.members() {
+		add(id)
+	}
+	for r := range o.table {
+		for c := range o.table[r] {
+			add(o.table[r][c])
+		}
+	}
+	return out
+}
+
+// --- maintenance ------------------------------------------------------------------
+
+func (o *Overlay) startMaintenance() {
+	if o.opts.HeartbeatInterval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		o.heartbeat()
+		o.ep.Clock().After(o.opts.HeartbeatInterval, tick)
+	}
+	o.ep.Clock().After(o.opts.HeartbeatInterval, tick)
+}
+
+// heartbeat probes leaf members and one routing-table entry per round.
+func (o *Overlay) heartbeat() {
+	for _, id := range o.leaves.members() {
+		o.probe(id)
+	}
+	// Round-robin one table row per heartbeat to bound probe volume.
+	row := o.probeNext % ids.Digits
+	o.probeNext++
+	for c := range o.table[row] {
+		if e := o.table[row][c]; !e.IsZero() && !o.leaves.contains(e) {
+			o.probe(e)
+		}
+	}
+}
+
+// probe pings id; on failure the node is forgotten and repair runs.
+func (o *Overlay) probe(id ids.ID) {
+	if o.probing[id] {
+		return
+	}
+	o.probing[id] = true
+	o.ep.Request(id, &PingMsg{}, o.opts.ProbeTimeout, func(_ wire.Message, err error) {
+		delete(o.probing, id)
+		if err != nil {
+			o.log.Debug("probe failed", "peer", id.Short(), "err", err)
+			o.forget(id)
+		}
+	})
+}
+
+// repairLeaves refills the leaf set by asking the current extremes for
+// their own leaves.
+func (o *Overlay) repairLeaves() {
+	for _, id := range o.leaves.members() {
+		o.ep.Request(id, &LeafReqMsg{}, o.opts.ProbeTimeout, func(reply wire.Message, err error) {
+			if err != nil {
+				return
+			}
+			lr, ok := reply.(*LeafReplyMsg)
+			if !ok {
+				return
+			}
+			members, err := stringsToIDs(lr.Leaves)
+			if err != nil {
+				return
+			}
+			for _, m := range members {
+				o.learn(m)
+			}
+		})
+	}
+}

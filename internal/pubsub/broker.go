@@ -1,0 +1,500 @@
+package pubsub
+
+import (
+	"sort"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/wire"
+)
+
+// Options configure a broker.
+type Options struct {
+	// DisableCovering turns off covering-based pruning of subscription
+	// propagation (for the E-T4 ablation). All subscriptions are then
+	// forwarded verbatim.
+	DisableCovering bool
+	// UseAdvertisements prunes subscription propagation to directions
+	// from which an intersecting advertisement has been received.
+	UseAdvertisements bool
+	// ProxyBufferLimit bounds the number of events buffered for a
+	// detached mobile client. Default 1024.
+	ProxyBufferLimit int
+}
+
+func (o *Options) applyDefaults() {
+	if o.ProxyBufferLimit == 0 {
+		o.ProxyBufferLimit = 1024
+	}
+}
+
+// entry records one distinct filter and the directions subscribed to it.
+type entry struct {
+	filter Filter
+	dirs   map[ids.ID]bool
+}
+
+// advEntry records an advertisement and the directions it arrived from.
+type advEntry struct {
+	filter Filter
+	dirs   map[ids.ID]bool
+}
+
+// proxy buffers notifications for a detached mobile client.
+type proxy struct {
+	buf     []*event.Event
+	dropped int
+}
+
+// Stats counts broker activity for the scaling experiments.
+type Stats struct {
+	TableEntries   int // distinct filters in the subscription table
+	ForwardedSubs  int // filters currently forwarded to neighbours (total)
+	SubsReceived   uint64
+	PubsReceived   uint64
+	Matches        uint64 // events matched at this broker
+	ClientDelivers uint64
+	NeighborFwds   uint64
+}
+
+// Broker is one node of the content-based event service.
+type Broker struct {
+	ep        netapi.Endpoint
+	opts      Options
+	neighbors map[ids.ID]bool
+	nborOrder []ids.ID // sorted, for deterministic iteration
+	entries   map[string]*entry
+	entryKeys []string // sorted
+	forwarded map[ids.ID]map[string]Filter
+	adverts   map[string]*advEntry
+	proxies   map[ids.ID]*proxy
+	stats     Stats
+}
+
+// NewBroker constructs a broker bound to ep and registers its handlers.
+func NewBroker(ep netapi.Endpoint, opts Options) *Broker {
+	opts.applyDefaults()
+	b := &Broker{
+		ep:        ep,
+		opts:      opts,
+		neighbors: make(map[ids.ID]bool),
+		entries:   make(map[string]*entry),
+		forwarded: make(map[ids.ID]map[string]Filter),
+		adverts:   make(map[string]*advEntry),
+		proxies:   make(map[ids.ID]*proxy),
+	}
+	ep.Handle("pubsub.sub", b.handleSub)
+	ep.Handle("pubsub.unsub", b.handleUnsub)
+	ep.Handle("pubsub.pub", b.handlePub)
+	ep.Handle("pubsub.adv", b.handleAdv)
+	ep.Handle("pubsub.unadv", b.handleUnadv)
+	ep.Handle("pubsub.peer", b.handlePeer)
+	ep.Handle("pubsub.detach", b.handleDetach)
+	ep.Handle("pubsub.reclaim", b.handleReclaim)
+	return b
+}
+
+// ID returns the broker's node ID.
+func (b *Broker) ID() ids.ID { return b.ep.ID() }
+
+// AddNeighbor marks id as a peer broker. The overlay must remain acyclic;
+// topology construction is the caller's responsibility (see ConnectBrokers).
+func (b *Broker) AddNeighbor(id ids.ID) {
+	if b.neighbors[id] {
+		return
+	}
+	b.neighbors[id] = true
+	b.nborOrder = append(b.nborOrder, id)
+	sort.Slice(b.nborOrder, func(i, j int) bool { return ids.Less(b.nborOrder[i], b.nborOrder[j]) })
+	if b.forwarded[id] == nil {
+		b.forwarded[id] = make(map[string]Filter)
+	}
+}
+
+// RemoveNeighbor severs a peer link (e.g. after the peer broker died):
+// subscriptions that arrived from that direction are dropped, forwarding
+// state toward it is discarded, and the remaining neighbours are
+// reconciled. Safe to call for unknown ids.
+func (b *Broker) RemoveNeighbor(id ids.ID) {
+	if !b.neighbors[id] {
+		return
+	}
+	delete(b.neighbors, id)
+	for i, n := range b.nborOrder {
+		if n == id {
+			b.nborOrder = append(b.nborOrder[:i], b.nborOrder[i+1:]...)
+			break
+		}
+	}
+	delete(b.forwarded, id)
+	for _, key := range append([]string(nil), b.entryKeys...) {
+		ent := b.entries[key]
+		if ent.dirs[id] {
+			delete(ent.dirs, id)
+			if len(ent.dirs) == 0 {
+				delete(b.entries, key)
+				b.dropEntryKey(key)
+			}
+		}
+	}
+	for _, a := range b.adverts {
+		delete(a.dirs, id)
+	}
+	b.reconcileAll()
+}
+
+// Neighbors lists the current peer brokers in deterministic order.
+func (b *Broker) Neighbors() []ids.ID {
+	out := make([]ids.ID, len(b.nborOrder))
+	copy(out, b.nborOrder)
+	return out
+}
+
+// Resync pushes the full desired subscription set to every neighbour —
+// called after AddNeighbor when the topology has been repaired, so the
+// new link learns what must flow over it.
+func (b *Broker) Resync() { b.reconcileAll() }
+
+// ConnectBrokers wires two brokers as neighbours (both directions).
+func ConnectBrokers(a, b *Broker) {
+	a.AddNeighbor(b.ID())
+	b.AddNeighbor(a.ID())
+}
+
+// Stats returns a snapshot of activity counters and table sizes.
+func (b *Broker) Stats() Stats {
+	s := b.stats
+	s.TableEntries = len(b.entries)
+	for _, m := range b.forwarded {
+		s.ForwardedSubs += len(m)
+	}
+	return s
+}
+
+func (b *Broker) addEntryKey(key string) {
+	i := sort.SearchStrings(b.entryKeys, key)
+	if i < len(b.entryKeys) && b.entryKeys[i] == key {
+		return
+	}
+	b.entryKeys = append(b.entryKeys, "")
+	copy(b.entryKeys[i+1:], b.entryKeys[i:])
+	b.entryKeys[i] = key
+}
+
+func (b *Broker) dropEntryKey(key string) {
+	i := sort.SearchStrings(b.entryKeys, key)
+	if i < len(b.entryKeys) && b.entryKeys[i] == key {
+		b.entryKeys = append(b.entryKeys[:i], b.entryKeys[i+1:]...)
+	}
+}
+
+func sortedFilterKeys(m map[string]Filter) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- subscription handling ---------------------------------------------------
+
+func (b *Broker) handleSub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	sub := msg.(*SubMsg)
+	b.stats.SubsReceived++
+	b.subscribe(from, sub.Filter)
+}
+
+// subscribe records a subscription arriving from dir and propagates it to
+// every other direction (pruned by covering and advertisements).
+func (b *Broker) subscribe(from ids.ID, f Filter) {
+	key := f.Key()
+	ent, ok := b.entries[key]
+	if !ok {
+		ent = &entry{filter: f, dirs: make(map[ids.ID]bool)}
+		b.entries[key] = ent
+		b.addEntryKey(key)
+	}
+	ent.dirs[from] = true
+	for _, n := range b.nborOrder {
+		if n == from {
+			continue
+		}
+		b.forwardSub(n, key, f)
+	}
+}
+
+// forwardSub sends f to neighbour n unless pruning applies, and retires
+// forwarded filters that f covers.
+func (b *Broker) forwardSub(n ids.ID, key string, f Filter) {
+	if _, sent := b.forwarded[n][key]; sent {
+		return
+	}
+	if !b.opts.DisableCovering && b.coveredAt(n, f) {
+		return
+	}
+	if b.opts.UseAdvertisements && !b.advertIntersectsVia(n, f) {
+		return
+	}
+	// Covering simplification: withdraw narrower filters sent earlier.
+	if !b.opts.DisableCovering {
+		for _, k2 := range sortedFilterKeys(b.forwarded[n]) {
+			f2 := b.forwarded[n][k2]
+			if k2 != key && Covers(f, f2) {
+				delete(b.forwarded[n], k2)
+				b.ep.Send(n, &UnsubMsg{Filter: f2})
+			}
+		}
+	}
+	b.forwarded[n][key] = f
+	b.ep.Send(n, &SubMsg{Filter: f})
+}
+
+// coveredAt reports whether a filter already forwarded to n covers f.
+func (b *Broker) coveredAt(n ids.ID, f Filter) bool {
+	for _, f2 := range b.forwarded[n] {
+		if Covers(f2, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// advertIntersectsVia reports whether any advertisement that arrived from
+// direction n intersects f (i.e. a publisher in that direction may emit
+// matching events).
+func (b *Broker) advertIntersectsVia(n ids.ID, f Filter) bool {
+	for _, a := range b.adverts {
+		if a.dirs[n] && Intersects(a.filter, f) {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Broker) handleUnsub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	unsub := msg.(*UnsubMsg)
+	b.unsubscribe(from, unsub.Filter)
+}
+
+func (b *Broker) unsubscribe(from ids.ID, f Filter) {
+	key := f.Key()
+	ent, ok := b.entries[key]
+	if !ok {
+		return
+	}
+	delete(ent.dirs, from)
+	if len(ent.dirs) == 0 {
+		delete(b.entries, key)
+		b.dropEntryKey(key)
+	}
+	b.reconcileAll()
+}
+
+// reconcileAll recomputes, for every neighbour, the minimal set of filters
+// that must be forwarded, and sends the sub/unsub diff. Used on
+// unsubscription, where covering relationships may need rebuilding.
+func (b *Broker) reconcileAll() {
+	for _, n := range b.nborOrder {
+		desired := make(map[string]Filter)
+		for _, key := range b.entryKeys {
+			ent := b.entries[key]
+			if len(ent.dirs) == 1 && ent.dirs[n] {
+				continue // only subscriber is n itself
+			}
+			if b.opts.UseAdvertisements && !b.advertIntersectsVia(n, ent.filter) {
+				continue
+			}
+			desired[key] = ent.filter
+		}
+		if !b.opts.DisableCovering {
+			desired = minimalCover(desired)
+		}
+		cur := b.forwarded[n]
+		for _, key := range sortedFilterKeys(cur) {
+			if _, keep := desired[key]; !keep {
+				f := cur[key]
+				delete(cur, key)
+				b.ep.Send(n, &UnsubMsg{Filter: f})
+			}
+		}
+		for _, key := range sortedFilterKeys(desired) {
+			if _, have := cur[key]; !have {
+				cur[key] = desired[key]
+				b.ep.Send(n, &SubMsg{Filter: desired[key]})
+			}
+		}
+	}
+}
+
+// minimalCover drops filters covered by another filter in the set.
+// Deterministic: among mutually covering filters the lexically smallest
+// key survives.
+func minimalCover(in map[string]Filter) map[string]Filter {
+	out := make(map[string]Filter, len(in))
+	for key, f := range in {
+		covered := false
+		for key2, f2 := range in {
+			if key == key2 {
+				continue
+			}
+			if Covers(f2, f) {
+				if Covers(f, f2) && key < key2 {
+					continue // mutual covering: keep the smaller key
+				}
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out[key] = f
+		}
+	}
+	return out
+}
+
+// --- advertisement handling ----------------------------------------------------
+
+func (b *Broker) handleAdv(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	adv := msg.(*AdvMsg)
+	key := adv.Filter.Key()
+	a, ok := b.adverts[key]
+	if !ok {
+		a = &advEntry{filter: adv.Filter, dirs: make(map[ids.ID]bool)}
+		b.adverts[key] = a
+	}
+	if a.dirs[from] {
+		return // duplicate; already flooded
+	}
+	a.dirs[from] = true
+	// Advertisements flood the acyclic broker graph.
+	for _, n := range b.nborOrder {
+		if n != from {
+			b.ep.Send(n, &AdvMsg{Filter: adv.Filter})
+		}
+	}
+	// Subscriptions pruned for lack of an intersecting advertisement may
+	// now need forwarding toward the advertiser.
+	if b.opts.UseAdvertisements && b.neighbors[from] {
+		for _, key := range b.entryKeys {
+			ent := b.entries[key]
+			if len(ent.dirs) == 1 && ent.dirs[from] {
+				continue
+			}
+			if Intersects(adv.Filter, ent.filter) {
+				b.forwardSub(from, key, ent.filter)
+			}
+		}
+	}
+}
+
+func (b *Broker) handleUnadv(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	unadv := msg.(*UnadvMsg)
+	key := unadv.Filter.Key()
+	a, ok := b.adverts[key]
+	if !ok || !a.dirs[from] {
+		return
+	}
+	delete(a.dirs, from)
+	if len(a.dirs) == 0 {
+		delete(b.adverts, key)
+	}
+	for _, n := range b.nborOrder {
+		if n != from {
+			b.ep.Send(n, &UnadvMsg{Filter: unadv.Filter})
+		}
+	}
+}
+
+// --- notification handling -------------------------------------------------------
+
+func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	pub := msg.(*PubMsg)
+	b.stats.PubsReceived++
+	ev := pub.Event
+	targets := make(map[ids.ID]bool)
+	matched := false
+	for _, ent := range b.entries {
+		if ent.filter.Matches(ev) {
+			matched = true
+			for d := range ent.dirs {
+				if d != from {
+					targets[d] = true
+				}
+			}
+		}
+	}
+	if matched {
+		b.stats.Matches++
+	}
+	order := make([]ids.ID, 0, len(targets))
+	for d := range targets {
+		order = append(order, d)
+	}
+	sort.Slice(order, func(i, j int) bool { return ids.Less(order[i], order[j]) })
+	for _, d := range order {
+		if b.neighbors[d] {
+			b.stats.NeighborFwds++
+			b.ep.Send(d, &PubMsg{Event: ev})
+			continue
+		}
+		if p, detached := b.proxies[d]; detached {
+			if len(p.buf) >= b.opts.ProxyBufferLimit {
+				p.dropped++
+				continue
+			}
+			p.buf = append(p.buf, ev)
+			continue
+		}
+		b.stats.ClientDelivers++
+		b.ep.Send(d, &DeliverMsg{Event: ev})
+	}
+}
+
+// --- topology repair ------------------------------------------------------------------
+
+// handlePeer registers the sender as a peer broker and resynchronises the
+// subscription state flowing over the new link.
+func (b *Broker) handlePeer(_ netapi.Ctx, from ids.ID, _ wire.Message) {
+	if b.neighbors[from] {
+		return
+	}
+	b.AddNeighbor(from)
+	b.Resync()
+}
+
+// --- mobility -----------------------------------------------------------------------
+
+func (b *Broker) handleDetach(_ netapi.Ctx, from ids.ID, _ wire.Message) {
+	if _, ok := b.proxies[from]; !ok {
+		b.proxies[from] = &proxy{}
+	}
+}
+
+func (b *Broker) handleReclaim(ctx netapi.Ctx, from ids.ID, _ wire.Message) {
+	p := b.proxies[from]
+	reply := &ReclaimReply{}
+	if p != nil {
+		reply.Events = p.buf
+		reply.Dropped = p.dropped
+	}
+	delete(b.proxies, from)
+	// The client has moved on: drop all its subscriptions here.
+	changed := false
+	for _, key := range append([]string(nil), b.entryKeys...) {
+		ent := b.entries[key]
+		if ent.dirs[from] {
+			delete(ent.dirs, from)
+			changed = true
+			if len(ent.dirs) == 0 {
+				delete(b.entries, key)
+				b.dropEntryKey(key)
+			}
+		}
+	}
+	if changed {
+		b.reconcileAll()
+	}
+	ctx.Reply(reply)
+}

@@ -1,0 +1,175 @@
+package pubsub
+
+import (
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/wire"
+)
+
+// seenLimit bounds the client's duplicate-suppression window.
+const seenLimit = 4096
+
+// Subscription is a client-side subscription handle. Several handlers may
+// share one filter (e.g. a monitor and an evolution engine both watching
+// node adverts through the same client).
+type Subscription struct {
+	Filter   Filter
+	Handlers []func(*event.Event)
+}
+
+// Client attaches to a broker, publishes events and receives matched
+// notifications. It supports Mobikit-style mobility: Detach leaves a
+// buffering proxy at the old broker; AttachTo re-subscribes at the new
+// broker and replays the buffered events exactly once.
+type Client struct {
+	ep       netapi.Endpoint
+	broker   ids.ID
+	subs     map[string]*Subscription
+	subOrder []string
+	seen     map[ids.ID]bool
+	seenFIFO []ids.ID
+	detached bool
+
+	// Delivered counts events handed to subscription handlers.
+	Delivered uint64
+	// Duplicates counts suppressed duplicate deliveries.
+	Duplicates uint64
+}
+
+// NewClient binds a client to ep and attaches it to the given broker.
+func NewClient(ep netapi.Endpoint, broker ids.ID) *Client {
+	c := &Client{
+		ep:     ep,
+		broker: broker,
+		subs:   make(map[string]*Subscription),
+		seen:   make(map[ids.ID]bool),
+	}
+	ep.Handle("pubsub.deliver", c.handleDeliver)
+	return c
+}
+
+// Broker returns the current attachment point.
+func (c *Client) Broker() ids.ID { return c.broker }
+
+// Subscribe registers a filter with a handler and propagates it. A second
+// subscription with an identical filter adds the handler rather than
+// replacing the first.
+func (c *Client) Subscribe(f Filter, h func(*event.Event)) {
+	key := f.Key()
+	sub, dup := c.subs[key]
+	if !dup {
+		sub = &Subscription{Filter: f}
+		c.subs[key] = sub
+		c.subOrder = append(c.subOrder, key)
+	}
+	sub.Handlers = append(sub.Handlers, h)
+	c.ep.Send(c.broker, &SubMsg{Filter: f})
+}
+
+// Unsubscribe withdraws a filter.
+func (c *Client) Unsubscribe(f Filter) {
+	key := f.Key()
+	if _, ok := c.subs[key]; !ok {
+		return
+	}
+	delete(c.subs, key)
+	for i, k := range c.subOrder {
+		if k == key {
+			c.subOrder = append(c.subOrder[:i], c.subOrder[i+1:]...)
+			break
+		}
+	}
+	c.ep.Send(c.broker, &UnsubMsg{Filter: f})
+}
+
+// Publish sends an event into the network via the current broker, and
+// dispatches it to this client's own matching subscriptions (the broker
+// never echoes an event back to the direction it came from, so local
+// subscribers need the loopback; ID dedup keeps this safe).
+func (c *Client) Publish(ev *event.Event) {
+	c.ep.Send(c.broker, &PubMsg{Event: ev})
+	c.dispatch(ev)
+}
+
+// Advertise announces that this client publishes events matching f.
+func (c *Client) Advertise(f Filter) {
+	c.ep.Send(c.broker, &AdvMsg{Filter: f})
+}
+
+// Detach disconnects the client, leaving a buffering proxy behind.
+func (c *Client) Detach() {
+	c.detached = true
+	c.ep.Send(c.broker, &DetachMsg{})
+}
+
+// AttachTo moves the client to a new broker: it re-subscribes there, then
+// reclaims buffered events from the previous broker. onComplete (optional)
+// fires when the handoff has finished; dropped is the number of events the
+// proxy had to discard for lack of buffer space.
+//
+// When re-attaching to the same broker, the reclaim must complete before
+// re-subscribing (the reclaim tears down the client's entries there);
+// cross-broker, subscribing at the new broker first minimises the loss
+// window, and ID dedup suppresses any overlap.
+func (c *Client) AttachTo(newBroker ids.ID, timeout time.Duration, onComplete func(dropped int, err error)) {
+	oldBroker := c.broker
+	c.broker = newBroker
+	c.detached = false
+	if oldBroker != newBroker {
+		c.resubscribe()
+	}
+	c.ep.Request(oldBroker, &ReclaimMsg{}, timeout, func(reply wire.Message, err error) {
+		if oldBroker == newBroker {
+			c.resubscribe()
+		}
+		if err != nil {
+			if onComplete != nil {
+				onComplete(0, err)
+			}
+			return
+		}
+		rr := reply.(*ReclaimReply)
+		for _, ev := range rr.Events {
+			c.dispatch(ev)
+		}
+		if onComplete != nil {
+			onComplete(rr.Dropped, nil)
+		}
+	})
+}
+
+func (c *Client) resubscribe() {
+	for _, key := range c.subOrder {
+		c.ep.Send(c.broker, &SubMsg{Filter: c.subs[key].Filter})
+	}
+}
+
+func (c *Client) handleDeliver(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
+	c.dispatch(msg.(*DeliverMsg).Event)
+}
+
+// dispatch hands an event to every matching subscription, once per event ID.
+func (c *Client) dispatch(ev *event.Event) {
+	if c.seen[ev.ID] {
+		c.Duplicates++
+		return
+	}
+	c.seen[ev.ID] = true
+	c.seenFIFO = append(c.seenFIFO, ev.ID)
+	if len(c.seenFIFO) > seenLimit {
+		delete(c.seen, c.seenFIFO[0])
+		c.seenFIFO = c.seenFIFO[1:]
+	}
+	for _, key := range c.subOrder {
+		s := c.subs[key]
+		if s.Filter.Matches(ev) {
+			c.Delivered++
+			for _, h := range s.Handlers {
+				h(ev)
+			}
+		}
+	}
+}

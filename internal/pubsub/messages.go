@@ -1,0 +1,100 @@
+package pubsub
+
+import (
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/wire"
+)
+
+// SubMsg subscribes the sending direction to a filter.
+type SubMsg struct {
+	Filter Filter `xml:"filter"`
+}
+
+// Kind implements wire.Message.
+func (SubMsg) Kind() string { return "pubsub.sub" }
+
+// UnsubMsg removes the sending direction's subscription to a filter.
+type UnsubMsg struct {
+	Filter Filter `xml:"filter"`
+}
+
+// Kind implements wire.Message.
+func (UnsubMsg) Kind() string { return "pubsub.unsub" }
+
+// PubMsg carries a published event between brokers and from publishers.
+type PubMsg struct {
+	Event *event.Event `xml:"event"`
+}
+
+// Kind implements wire.Message.
+func (PubMsg) Kind() string { return "pubsub.pub" }
+
+// DeliverMsg carries a matched event from a broker to a client node.
+type DeliverMsg struct {
+	Event *event.Event `xml:"event"`
+}
+
+// Kind implements wire.Message.
+func (DeliverMsg) Kind() string { return "pubsub.deliver" }
+
+// AdvMsg advertises that events matching the filter may be published from
+// the sending direction.
+type AdvMsg struct {
+	Filter Filter `xml:"filter"`
+}
+
+// Kind implements wire.Message.
+func (AdvMsg) Kind() string { return "pubsub.adv" }
+
+// UnadvMsg withdraws an advertisement.
+type UnadvMsg struct {
+	Filter Filter `xml:"filter"`
+}
+
+// Kind implements wire.Message.
+func (UnadvMsg) Kind() string { return "pubsub.unadv" }
+
+// PeerMsg asks a broker to register the sender as a peer broker (used by
+// topology self-healing when an orphaned subtree reattaches upstream).
+// The receiver resynchronises its subscription state over the new link.
+type PeerMsg struct{}
+
+// Kind implements wire.Message.
+func (PeerMsg) Kind() string { return "pubsub.peer" }
+
+// DetachMsg tells the broker a mobile client is disconnecting; the broker
+// keeps its subscriptions alive via a buffering proxy (Mobikit-style).
+type DetachMsg struct{}
+
+// Kind implements wire.Message.
+func (DetachMsg) Kind() string { return "pubsub.detach" }
+
+// ReclaimMsg asks the client's previous broker for buffered events and
+// tears the proxy down. Sent as a request; answered with ReclaimReply.
+type ReclaimMsg struct{}
+
+// Kind implements wire.Message.
+func (ReclaimMsg) Kind() string { return "pubsub.reclaim" }
+
+// ReclaimReply returns the events buffered while the client was detached.
+type ReclaimReply struct {
+	Events  []*event.Event `xml:"event"`
+	Dropped int            `xml:"dropped,attr"` // buffer overflow count
+}
+
+// Kind implements wire.Message.
+func (ReclaimReply) Kind() string { return "pubsub.reclaimReply" }
+
+// RegisterMessages records all pub/sub message types in a wire registry.
+func RegisterMessages(r *wire.Registry) {
+	r.Register(&SubMsg{})
+	r.Register(&UnsubMsg{})
+	r.Register(&PubMsg{})
+	r.Register(&DeliverMsg{})
+	r.Register(&AdvMsg{})
+	r.Register(&UnadvMsg{})
+	r.Register(&PeerMsg{})
+	r.Register(&DetachMsg{})
+	r.Register(&ReclaimMsg{})
+	r.Register(&ReclaimReply{})
+}

@@ -1,0 +1,357 @@
+// Package sensors provides simulated context sources standing in for the
+// hardware the paper's pipelines wrap (§4.2): "events may also arise from
+// local devices and sensors such as GPS and GSM devices, RFID tag readers,
+// weather sensors, etc. Each hardware device has a wrapper component that
+// makes it usable as a pipeline component."
+//
+// Every sensor is a pipeline source component: it emits events downstream
+// through an Outlet on a deterministic schedule driven by the node clock
+// and a seeded RNG, so whole worlds replay bit-identically.
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/pipeline"
+	"github.com/gloss/active/internal/vclock"
+)
+
+// Day is the length of the simulated diurnal cycle.
+const Day = 24 * time.Hour
+
+// GPS simulates a user's position sensor using a random-waypoint mobility
+// model over a set of anchor coordinates. It emits "gps.location" events.
+type GPS struct {
+	pipeline.Outlet
+	user     string
+	pos      netapi.Coord
+	dest     netapi.Coord
+	speedKmH float64
+	interval time.Duration
+	anchors  []netapi.Coord
+	rng      *rand.Rand
+	clock    vclock.Clock
+	seq      uint64
+	paused   bool
+	stopped  bool
+	mode     string
+}
+
+// GPSConfig parameterises a GPS sensor.
+type GPSConfig struct {
+	// User is the subject identifier stamped on events.
+	User string
+	// Start is the initial position.
+	Start netapi.Coord
+	// Anchors are waypoint candidates (places the user travels between).
+	Anchors []netapi.Coord
+	// SpeedKmH is the walking speed. Default 5.
+	SpeedKmH float64
+	// Interval is the reporting period. Default 30s.
+	Interval time.Duration
+	// Seed drives waypoint choice.
+	Seed int64
+	// Mode is stamped on events ("foot", "car", …). Default "foot".
+	Mode string
+}
+
+// NewGPS builds the sensor; call Start to begin emitting.
+func NewGPS(cfg GPSConfig, clock vclock.Clock) *GPS {
+	if cfg.SpeedKmH == 0 {
+		cfg.SpeedKmH = 5
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = "foot"
+	}
+	g := &GPS{
+		user:     cfg.User,
+		pos:      cfg.Start,
+		dest:     cfg.Start,
+		speedKmH: cfg.SpeedKmH,
+		interval: cfg.Interval,
+		anchors:  cfg.Anchors,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		clock:    clock,
+		mode:     cfg.Mode,
+	}
+	return g
+}
+
+// Name implements pipeline.Component.
+func (g *GPS) Name() string { return "gps:" + g.user }
+
+// Put implements pipeline.Component; GPS is a pure source and ignores input.
+func (g *GPS) Put(*event.Event) {}
+
+// Position returns the current simulated position.
+func (g *GPS) Position() netapi.Coord { return g.pos }
+
+// Start begins the reporting loop.
+func (g *GPS) Start() {
+	var tick func()
+	tick = func() {
+		if g.stopped {
+			return
+		}
+		g.step()
+		g.emit()
+		g.clock.After(g.interval, tick)
+	}
+	g.clock.After(g.interval, tick)
+}
+
+// Stop halts the sensor permanently.
+func (g *GPS) Stop() { g.stopped = true }
+
+// Pause freezes movement (the user dwells); events continue.
+func (g *GPS) Pause() { g.paused = true }
+
+// Resume continues movement.
+func (g *GPS) Resume() { g.paused = false }
+
+// MoveTo overrides the current destination (scripted travel).
+func (g *GPS) MoveTo(dest netapi.Coord) {
+	g.dest = dest
+	g.paused = false
+}
+
+// Teleport relocates instantly (e.g. Bob flies to Australia).
+func (g *GPS) Teleport(pos netapi.Coord) {
+	g.pos = pos
+	g.dest = pos
+}
+
+// step advances the position by one interval of walking.
+func (g *GPS) step() {
+	if g.paused {
+		return
+	}
+	remaining := g.pos.DistanceKm(g.dest)
+	stepKm := g.speedKmH * g.interval.Hours()
+	if remaining <= stepKm {
+		g.pos = g.dest
+		if len(g.anchors) > 0 {
+			g.dest = g.anchors[g.rng.Intn(len(g.anchors))]
+		}
+		return
+	}
+	frac := stepKm / remaining
+	g.pos.X += (g.dest.X - g.pos.X) * frac
+	g.pos.Y += (g.dest.Y - g.pos.Y) * frac
+}
+
+func (g *GPS) emit() {
+	g.seq++
+	ev := event.New("gps.location", g.Name(), g.clock.Now()).
+		Set("user", event.S(g.user)).
+		Set("x", event.F(g.pos.X)).
+		Set("y", event.F(g.pos.Y)).
+		Set("mode", event.S(g.mode)).
+		Stamp(g.seq)
+	g.Emit(ev)
+}
+
+// Thermometer simulates an environmental temperature sensor with a
+// diurnal cycle plus noise, emitting "weather.report" events for a region.
+type Thermometer struct {
+	pipeline.Outlet
+	region   string
+	baseC    float64
+	ampC     float64
+	noiseC   float64
+	interval time.Duration
+	rng      *rand.Rand
+	clock    vclock.Clock
+	seq      uint64
+	stopped  bool
+	offset   time.Duration // regional phase shift (hemispheres differ)
+}
+
+// ThermometerConfig parameterises a thermometer.
+type ThermometerConfig struct {
+	Region string
+	// BaseC is the daily mean temperature. Default 12.
+	BaseC float64
+	// AmpC is the diurnal amplitude. Default 8.
+	AmpC float64
+	// NoiseC bounds the uniform measurement noise. Default 0.5.
+	NoiseC float64
+	// Interval is the reporting period. Default 5m.
+	Interval time.Duration
+	// Seed drives the noise.
+	Seed int64
+	// PhaseOffset shifts the diurnal cycle (e.g. 12h for the antipodes).
+	PhaseOffset time.Duration
+}
+
+// NewThermometer builds the sensor; call Start to begin emitting.
+func NewThermometer(cfg ThermometerConfig, clock vclock.Clock) *Thermometer {
+	if cfg.BaseC == 0 {
+		cfg.BaseC = 12
+	}
+	if cfg.AmpC == 0 {
+		cfg.AmpC = 8
+	}
+	if cfg.NoiseC == 0 {
+		cfg.NoiseC = 0.5
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 5 * time.Minute
+	}
+	return &Thermometer{
+		region:   cfg.Region,
+		baseC:    cfg.BaseC,
+		ampC:     cfg.AmpC,
+		noiseC:   cfg.NoiseC,
+		interval: cfg.Interval,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		clock:    clock,
+		offset:   cfg.PhaseOffset,
+	}
+}
+
+// Name implements pipeline.Component.
+func (th *Thermometer) Name() string { return "thermo:" + th.region }
+
+// Put implements pipeline.Component; pure source.
+func (th *Thermometer) Put(*event.Event) {}
+
+// Start begins the reporting loop.
+func (th *Thermometer) Start() {
+	var tick func()
+	tick = func() {
+		if th.stopped {
+			return
+		}
+		th.emit()
+		th.clock.After(th.interval, tick)
+	}
+	th.clock.After(th.interval, tick)
+}
+
+// Stop halts the sensor.
+func (th *Thermometer) Stop() { th.stopped = true }
+
+// TempAt returns the modelled temperature (without noise) at time t.
+func (th *Thermometer) TempAt(t time.Duration) float64 {
+	dayFrac := float64((t+th.offset)%Day) / float64(Day)
+	// Peak at 15:00, trough at 03:00.
+	return th.baseC + th.ampC*math.Sin(2*math.Pi*(dayFrac-0.375))
+}
+
+func (th *Thermometer) emit() {
+	th.seq++
+	now := th.clock.Now()
+	temp := th.TempAt(now) + (th.rng.Float64()*2-1)*th.noiseC
+	ev := event.New("weather.report", th.Name(), now).
+		Set("region", event.S(th.region)).
+		Set("tempC", event.F(temp)).
+		Stamp(th.seq)
+	th.Emit(ev)
+}
+
+// PositionOracle reports a subject's current position; RFID readers use
+// it to detect proximity (wired to GPS sensors by the world builder).
+type PositionOracle func(user string) (netapi.Coord, bool)
+
+// RFIDReader emits "rfid.read" events when tracked subjects come within
+// its radius, modelling tag reads at doorways, shops, vehicles.
+type RFIDReader struct {
+	pipeline.Outlet
+	name     string
+	at       netapi.Coord
+	radiusKm float64
+	interval time.Duration
+	users    []string
+	oracle   PositionOracle
+	clock    vclock.Clock
+	inside   map[string]bool
+	seq      uint64
+	stopped  bool
+}
+
+// RFIDConfig parameterises a reader.
+type RFIDConfig struct {
+	Name     string
+	At       netapi.Coord
+	RadiusKm float64 // default 0.05 (50 m)
+	Interval time.Duration
+	Users    []string
+}
+
+// NewRFIDReader builds the reader; call Start to begin polling.
+func NewRFIDReader(cfg RFIDConfig, oracle PositionOracle, clock vclock.Clock) *RFIDReader {
+	if cfg.RadiusKm == 0 {
+		cfg.RadiusKm = 0.05
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	return &RFIDReader{
+		name:     cfg.Name,
+		at:       cfg.At,
+		radiusKm: cfg.RadiusKm,
+		interval: cfg.Interval,
+		users:    cfg.Users,
+		oracle:   oracle,
+		clock:    clock,
+		inside:   make(map[string]bool),
+	}
+}
+
+// Name implements pipeline.Component.
+func (r *RFIDReader) Name() string { return "rfid:" + r.name }
+
+// Put implements pipeline.Component; pure source.
+func (r *RFIDReader) Put(*event.Event) {}
+
+// Start begins the polling loop.
+func (r *RFIDReader) Start() {
+	var tick func()
+	tick = func() {
+		if r.stopped {
+			return
+		}
+		r.poll()
+		r.clock.After(r.interval, tick)
+	}
+	r.clock.After(r.interval, tick)
+}
+
+// Stop halts the reader.
+func (r *RFIDReader) Stop() { r.stopped = true }
+
+func (r *RFIDReader) poll() {
+	for _, u := range r.users {
+		pos, ok := r.oracle(u)
+		if !ok {
+			continue
+		}
+		in := pos.DistanceKm(r.at) <= r.radiusKm
+		was := r.inside[u]
+		if in && !was {
+			r.seq++
+			r.Emit(event.New("rfid.read", r.Name(), r.clock.Now()).
+				Set("user", event.S(u)).
+				Set("reader", event.S(r.name)).
+				Set("enter", event.B(true)).
+				Stamp(r.seq))
+		}
+		if !in && was {
+			r.seq++
+			r.Emit(event.New("rfid.read", r.Name(), r.clock.Now()).
+				Set("user", event.S(u)).
+				Set("reader", event.S(r.name)).
+				Set("enter", event.B(false)).
+				Stamp(r.seq))
+		}
+		r.inside[u] = in
+	}
+}

@@ -1,0 +1,179 @@
+package sensors
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/vclock"
+)
+
+type sink struct {
+	evs []*event.Event
+}
+
+func (s *sink) Name() string        { return "sink" }
+func (s *sink) Put(ev *event.Event) { s.evs = append(s.evs, ev) }
+
+func TestGPSEmitsAndMoves(t *testing.T) {
+	sched := vclock.NewScheduler()
+	g := NewGPS(GPSConfig{
+		User:     "bob",
+		Start:    netapi.Coord{X: 0, Y: 0},
+		Anchors:  []netapi.Coord{{X: 10, Y: 0}},
+		SpeedKmH: 6,
+		Interval: time.Minute,
+		Seed:     1,
+	}, sched)
+	out := &sink{}
+	g.ConnectTo(out)
+	g.MoveTo(netapi.Coord{X: 10, Y: 0})
+	g.Start()
+	sched.RunUntil(30 * time.Minute)
+	if len(out.evs) != 30 {
+		t.Fatalf("events = %d, want 30", len(out.evs))
+	}
+	first := out.evs[0]
+	if first.Type != "gps.location" || first.GetString("user") != "bob" || first.GetString("mode") != "foot" {
+		t.Fatalf("event shape: %+v", first.Attrs)
+	}
+	// 6 km/h for 30 min = 3 km toward (10,0).
+	last := out.evs[len(out.evs)-1]
+	x := last.GetNum("x")
+	if x < 2.8 || x > 3.2 {
+		t.Fatalf("x after 30m = %v, want ≈3", x)
+	}
+}
+
+func TestGPSPauseTeleport(t *testing.T) {
+	sched := vclock.NewScheduler()
+	g := NewGPS(GPSConfig{User: "u", Interval: time.Minute, Seed: 1}, sched)
+	out := &sink{}
+	g.ConnectTo(out)
+	g.Start()
+	g.Pause()
+	sched.RunUntil(5 * time.Minute)
+	for _, ev := range out.evs {
+		if ev.GetNum("x") != 0 || ev.GetNum("y") != 0 {
+			t.Fatalf("paused user moved")
+		}
+	}
+	g.Teleport(netapi.Coord{X: 100, Y: 200})
+	sched.RunFor(2 * time.Minute)
+	last := out.evs[len(out.evs)-1]
+	if last.GetNum("x") != 100 || last.GetNum("y") != 200 {
+		t.Fatalf("teleport ignored: %+v", last.Attrs)
+	}
+}
+
+func TestGPSDeterministic(t *testing.T) {
+	run := func() []float64 {
+		sched := vclock.NewScheduler()
+		g := NewGPS(GPSConfig{
+			User: "u", Anchors: []netapi.Coord{{X: 5}, {Y: 5}, {X: -3, Y: 2}},
+			Interval: time.Minute, Seed: 42,
+		}, sched)
+		out := &sink{}
+		g.ConnectTo(out)
+		g.Start()
+		sched.RunUntil(4 * time.Hour)
+		var xs []float64
+		for _, ev := range out.evs {
+			xs = append(xs, ev.GetNum("x"))
+		}
+		return xs
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectories diverge at %d", i)
+		}
+	}
+}
+
+func TestThermometerDiurnalCycle(t *testing.T) {
+	sched := vclock.NewScheduler()
+	th := NewThermometer(ThermometerConfig{Region: "fife", BaseC: 12, AmpC: 8, NoiseC: 0.01, Interval: time.Hour, Seed: 1}, sched)
+	out := &sink{}
+	th.ConnectTo(out)
+	th.Start()
+	sched.RunUntil(24 * time.Hour)
+	if len(out.evs) != 24 {
+		t.Fatalf("events = %d", len(out.evs))
+	}
+	// Afternoon warmer than pre-dawn.
+	afternoon := th.TempAt(15 * time.Hour)
+	night := th.TempAt(3 * time.Hour)
+	if afternoon <= night {
+		t.Fatalf("diurnal cycle inverted: 15h=%v 3h=%v", afternoon, night)
+	}
+	if afternoon < 19 || afternoon > 21 {
+		t.Fatalf("peak ≈ base+amp expected, got %v", afternoon)
+	}
+	// Phase offset flips hemispheres.
+	oz := NewThermometer(ThermometerConfig{Region: "oz", PhaseOffset: 12 * time.Hour, Seed: 2}, sched)
+	if oz.TempAt(15*time.Hour) >= oz.TempAt(3*time.Hour) {
+		t.Fatalf("phase offset had no effect")
+	}
+	for _, ev := range out.evs {
+		if ev.Type != "weather.report" || ev.GetString("region") != "fife" {
+			t.Fatalf("event shape: %+v", ev)
+		}
+	}
+}
+
+func TestRFIDEnterExit(t *testing.T) {
+	sched := vclock.NewScheduler()
+	pos := netapi.Coord{X: 10, Y: 10}
+	away := netapi.Coord{X: 20, Y: 20}
+	cur := away
+	oracle := func(user string) (netapi.Coord, bool) {
+		if user == "bob" {
+			return cur, true
+		}
+		return netapi.Coord{}, false
+	}
+	r := NewRFIDReader(RFIDConfig{
+		Name: "door", At: pos, RadiusKm: 0.1, Interval: time.Second,
+		Users: []string{"bob", "ghost"},
+	}, oracle, sched)
+	out := &sink{}
+	r.ConnectTo(out)
+	r.Start()
+	sched.RunFor(3 * time.Second)
+	if len(out.evs) != 0 {
+		t.Fatalf("reads while away: %d", len(out.evs))
+	}
+	cur = pos // bob arrives
+	sched.RunFor(3 * time.Second)
+	if len(out.evs) != 1 {
+		t.Fatalf("enter events = %d, want 1 (no repeats)", len(out.evs))
+	}
+	if !out.evs[0].Attrs["enter"].B || out.evs[0].GetString("reader") != "door" {
+		t.Fatalf("enter event shape: %+v", out.evs[0].Attrs)
+	}
+	cur = away // bob leaves
+	sched.RunFor(2 * time.Second)
+	if len(out.evs) != 2 || out.evs[1].Attrs["enter"].B {
+		t.Fatalf("exit event missing: %d", len(out.evs))
+	}
+}
+
+func TestSensorStop(t *testing.T) {
+	sched := vclock.NewScheduler()
+	g := NewGPS(GPSConfig{User: "u", Interval: time.Second, Seed: 1}, sched)
+	out := &sink{}
+	g.ConnectTo(out)
+	g.Start()
+	sched.RunFor(3 * time.Second)
+	n := len(out.evs)
+	g.Stop()
+	sched.RunFor(10 * time.Second)
+	if len(out.evs) != n {
+		t.Fatalf("stopped sensor kept emitting")
+	}
+}

@@ -1,0 +1,379 @@
+// Package simnet is a deterministic discrete-event simulation of a
+// wide-area network. It is the default substrate on which the active
+// architecture runs in tests, examples and benchmarks.
+//
+// The model: nodes live at planar coordinates (km); message latency is
+// base + distance·perKm + jitter; messages may be lost with a configured
+// probability; links can be severed (partitions) and nodes killed
+// (churn). The entire world executes on a single goroutine driven by a
+// vclock.Scheduler, so every run with the same seed is bit-identical.
+package simnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/vclock"
+	"github.com/gloss/active/internal/wire"
+)
+
+// Config parameterises a World.
+type Config struct {
+	// Seed drives all randomness (jitter, loss, node RNGs).
+	Seed int64
+	// BaseLatency is the fixed per-message cost. Default 1ms.
+	BaseLatency time.Duration
+	// LatencyPerKm adds distance-proportional delay. Default 10µs/km
+	// (roughly twice the speed of light in fibre, standing in for
+	// routing overhead).
+	LatencyPerKm time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter). Default 200µs.
+	Jitter time.Duration
+	// LossRate is the probability a message is silently dropped.
+	LossRate float64
+	// Codec, when non-nil, is used to account encoded message bytes in
+	// Metrics (slower; enable only when bandwidth matters).
+	Codec *wire.Registry
+}
+
+func (c *Config) applyDefaults() {
+	if c.BaseLatency == 0 {
+		c.BaseLatency = time.Millisecond
+	}
+	if c.LatencyPerKm == 0 {
+		c.LatencyPerKm = 10 * time.Microsecond
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 200 * time.Microsecond
+	}
+}
+
+// Metrics aggregates world-level traffic counters.
+type Metrics struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // loss, dead destination, or filtered link
+	Bytes     uint64 // only counted when Config.Codec != nil
+	ByKind    map[string]uint64
+	Unhandled uint64
+}
+
+// LinkFilter decides whether a message from → to may traverse the network.
+type LinkFilter func(from, to ids.ID) bool
+
+// World is the simulated network.
+type World struct {
+	cfg     Config
+	sched   *vclock.Scheduler
+	rng     *rand.Rand
+	nodes   map[ids.ID]*Node
+	order   []*Node // creation order, for deterministic iteration
+	filter  LinkFilter
+	metrics Metrics
+}
+
+// NewWorld constructs an empty world.
+func NewWorld(cfg Config) *World {
+	cfg.applyDefaults()
+	return &World{
+		cfg:   cfg,
+		sched: vclock.NewScheduler(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[ids.ID]*Node),
+		metrics: Metrics{
+			ByKind: make(map[string]uint64),
+		},
+	}
+}
+
+// Sched exposes the underlying scheduler.
+func (w *World) Sched() *vclock.Scheduler { return w.sched }
+
+// Now returns current virtual time.
+func (w *World) Now() time.Duration { return w.sched.Now() }
+
+// RunUntil advances virtual time to t, executing all due events.
+func (w *World) RunUntil(t time.Duration) { w.sched.RunUntil(t) }
+
+// RunFor advances virtual time by d.
+func (w *World) RunFor(d time.Duration) { w.sched.RunFor(d) }
+
+// Metrics returns a snapshot of traffic counters.
+func (w *World) Metrics() Metrics {
+	m := w.metrics
+	m.ByKind = make(map[string]uint64, len(w.metrics.ByKind))
+	for k, v := range w.metrics.ByKind {
+		m.ByKind[k] = v
+	}
+	return m
+}
+
+// ResetMetrics zeroes all counters (between benchmark phases).
+func (w *World) ResetMetrics() {
+	w.metrics = Metrics{ByKind: make(map[string]uint64)}
+}
+
+// SetLinkFilter installs f as the connectivity predicate (nil allows all).
+func (w *World) SetLinkFilter(f LinkFilter) { w.filter = f }
+
+// Partition splits the world into groups; messages may only flow within a
+// group. Nodes not mentioned in any group are isolated. Call
+// SetLinkFilter(nil) to heal.
+func (w *World) Partition(groups ...[]ids.ID) {
+	member := make(map[ids.ID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			member[id] = gi
+		}
+	}
+	w.SetLinkFilter(func(from, to ids.ID) bool {
+		gf, okf := member[from]
+		gt, okt := member[to]
+		return okf && okt && gf == gt
+	})
+}
+
+// Node is a simulated host. It implements netapi.Endpoint.
+type Node struct {
+	world    *World
+	info     netapi.NodeInfo
+	rng      *rand.Rand
+	alive    bool
+	handlers map[string]netapi.Handler
+	pending  map[uint64]*pendingReq
+	nextCorr uint64
+	clock    *nodeClock
+}
+
+var _ netapi.Endpoint = (*Node)(nil)
+
+type pendingReq struct {
+	cb    netapi.ReplyFunc
+	timer vclock.Timer
+}
+
+// NewNode creates a live node at coord in region. The id must be unique.
+func (w *World) NewNode(id ids.ID, region string, coord netapi.Coord) *Node {
+	if _, exists := w.nodes[id]; exists {
+		panic(fmt.Sprintf("simnet: duplicate node id %s", id))
+	}
+	seed := int64(binary.BigEndian.Uint64(id[:8])) ^ w.cfg.Seed
+	n := &Node{
+		world:    w,
+		info:     netapi.NodeInfo{ID: id, Region: region, Coord: coord},
+		rng:      rand.New(rand.NewSource(seed)),
+		alive:    true,
+		handlers: make(map[string]netapi.Handler),
+		pending:  make(map[uint64]*pendingReq),
+	}
+	n.clock = &nodeClock{node: n}
+	w.nodes[id] = n
+	w.order = append(w.order, n)
+	return n
+}
+
+// Nodes returns all nodes in creation order (including dead ones).
+func (w *World) Nodes() []*Node {
+	out := make([]*Node, len(w.order))
+	copy(out, w.order)
+	return out
+}
+
+// Node returns the node with the given id, or nil.
+func (w *World) Node(id ids.ID) *Node { return w.nodes[id] }
+
+// ID implements netapi.Endpoint.
+func (n *Node) ID() ids.ID { return n.info.ID }
+
+// Info implements netapi.Endpoint.
+func (n *Node) Info() netapi.NodeInfo { return n.info }
+
+// Clock implements netapi.Endpoint. Callbacks scheduled through this clock
+// are suppressed if the node is dead when they fire.
+func (n *Node) Clock() vclock.Clock { return n.clock }
+
+// Rand implements netapi.Endpoint.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Kill crashes the node: all queued and future messages and timers for it
+// are dropped until Revive.
+func (n *Node) Kill() { n.alive = false }
+
+// Revive brings a killed node back with its handlers intact. Protocol
+// state is whatever it was at kill time; protocols are responsible for
+// re-joining overlays.
+func (n *Node) Revive() { n.alive = true }
+
+// Handle implements netapi.Endpoint.
+func (n *Node) Handle(kind string, h netapi.Handler) { n.handlers[kind] = h }
+
+// Send implements netapi.Endpoint.
+func (n *Node) Send(to ids.ID, msg wire.Message) {
+	env := &wire.Envelope{From: n.info.ID, To: to, Msg: msg}
+	n.world.transmit(n, env)
+}
+
+// Request implements netapi.Endpoint.
+func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb netapi.ReplyFunc) {
+	n.nextCorr++
+	corr := n.nextCorr
+	env := &wire.Envelope{From: n.info.ID, To: to, CorrID: corr, Msg: msg}
+	p := &pendingReq{cb: cb}
+	p.timer = n.clock.After(timeout, func() {
+		if _, ok := n.pending[corr]; ok {
+			delete(n.pending, corr)
+			cb(nil, netapi.ErrTimeout)
+		}
+	})
+	n.pending[corr] = p
+	n.world.transmit(n, env)
+}
+
+// transmit queues env for delivery after the modelled latency.
+func (w *World) transmit(from *Node, env *wire.Envelope) {
+	w.metrics.Sent++
+	if env.Msg != nil {
+		w.metrics.ByKind[env.Msg.Kind()]++
+	}
+	if w.cfg.Codec != nil && env.Msg != nil {
+		if sz, err := w.cfg.Codec.Size(env); err == nil {
+			w.metrics.Bytes += uint64(sz)
+		}
+	}
+	if !from.alive {
+		w.metrics.Dropped++
+		return
+	}
+	if w.filter != nil && !w.filter(env.From, env.To) {
+		w.metrics.Dropped++
+		return
+	}
+	if w.cfg.LossRate > 0 && w.rng.Float64() < w.cfg.LossRate {
+		w.metrics.Dropped++
+		return
+	}
+	dest, ok := w.nodes[env.To]
+	if !ok {
+		w.metrics.Dropped++
+		return
+	}
+	lat := w.latency(from.info.Coord, dest.info.Coord)
+	w.sched.After(lat, func() { w.deliver(dest, env) })
+}
+
+// latency computes the delay between two coordinates.
+func (w *World) latency(a, b netapi.Coord) time.Duration {
+	d := w.cfg.BaseLatency + time.Duration(a.DistanceKm(b)*float64(w.cfg.LatencyPerKm))
+	if w.cfg.Jitter > 0 {
+		d += time.Duration(w.rng.Int63n(int64(w.cfg.Jitter)))
+	}
+	return d
+}
+
+// Latency exposes the deterministic (jitter-free) latency estimate between
+// two nodes, for placement policies that reason about proximity.
+func (w *World) Latency(a, b ids.ID) time.Duration {
+	na, nb := w.nodes[a], w.nodes[b]
+	if na == nil || nb == nil {
+		return 0
+	}
+	return w.cfg.BaseLatency + time.Duration(na.info.Coord.DistanceKm(nb.info.Coord)*float64(w.cfg.LatencyPerKm))
+}
+
+func (w *World) deliver(dest *Node, env *wire.Envelope) {
+	if !dest.alive {
+		w.metrics.Dropped++
+		return
+	}
+	w.metrics.Delivered++
+	if env.IsReply {
+		p, ok := dest.pending[env.CorrID]
+		if !ok {
+			return // late reply after timeout: drop
+		}
+		delete(dest.pending, env.CorrID)
+		p.timer.Stop()
+		if env.Err != "" {
+			p.cb(env.Msg, remoteError(env.Err))
+			return
+		}
+		p.cb(env.Msg, nil)
+		return
+	}
+	if env.Msg == nil {
+		return
+	}
+	h, ok := dest.handlers[env.Msg.Kind()]
+	if !ok {
+		w.metrics.Unhandled++
+		return
+	}
+	h(&msgCtx{node: dest, env: env}, env.From, env.Msg)
+}
+
+type remoteError string
+
+func (e remoteError) Error() string { return string(e) }
+
+// msgCtx implements netapi.Ctx for a delivered message.
+type msgCtx struct {
+	node    *Node
+	env     *wire.Envelope
+	replied bool
+}
+
+func (c *msgCtx) Reply(msg wire.Message) {
+	if c.env.CorrID == 0 || c.replied {
+		return
+	}
+	c.replied = true
+	reply := &wire.Envelope{
+		From:    c.node.info.ID,
+		To:      c.env.From,
+		CorrID:  c.env.CorrID,
+		IsReply: true,
+		Msg:     msg,
+	}
+	c.node.world.transmit(c.node, reply)
+}
+
+func (c *msgCtx) ReplyErr(err error) {
+	if c.env.CorrID == 0 || c.replied {
+		return
+	}
+	c.replied = true
+	reply := &wire.Envelope{
+		From:    c.node.info.ID,
+		To:      c.env.From,
+		CorrID:  c.env.CorrID,
+		IsReply: true,
+		Err:     err.Error(),
+	}
+	c.node.world.transmit(c.node, reply)
+}
+
+// nodeClock wraps the world scheduler, suppressing callbacks that fire
+// after the node has been killed.
+type nodeClock struct {
+	node *Node
+}
+
+var _ vclock.Clock = (*nodeClock)(nil)
+
+func (c *nodeClock) Now() time.Duration { return c.node.world.sched.Now() }
+
+func (c *nodeClock) After(d time.Duration, fn func()) vclock.Timer {
+	n := c.node
+	return n.world.sched.After(d, func() {
+		if n.alive {
+			fn()
+		}
+	})
+}

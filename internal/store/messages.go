@@ -1,0 +1,89 @@
+package store
+
+import (
+	"github.com/gloss/active/internal/wire"
+)
+
+// PutMsg is routed toward an object's root to store it.
+type PutMsg struct {
+	GUID   string     `xml:"guid,attr"`
+	ReqID  uint64     `xml:"req,attr"`
+	Origin string     `xml:"origin,attr"`
+	Data   wire.Bytes `xml:"data"`
+}
+
+// Kind implements wire.Message.
+func (PutMsg) Kind() string { return "store.put" }
+
+// AckMsg confirms (or rejects) a put, sent directly to the origin.
+type AckMsg struct {
+	ReqID uint64 `xml:"req,attr"`
+	OK    bool   `xml:"ok,attr"`
+	Err   string `xml:"err,attr,omitempty"`
+}
+
+// Kind implements wire.Message.
+func (AckMsg) Kind() string { return "store.ack" }
+
+// GetMsg is routed (traced) toward an object's root to fetch it; any node
+// holding a copy answers from the path.
+type GetMsg struct {
+	GUID  string `xml:"guid,attr"`
+	ReqID uint64 `xml:"req,attr"`
+}
+
+// Kind implements wire.Message.
+func (GetMsg) Kind() string { return "store.get" }
+
+// GetReplyMsg answers a get, sent directly to the origin.
+type GetReplyMsg struct {
+	ReqID     uint64     `xml:"req,attr"`
+	GUID      string     `xml:"guid,attr"`
+	Found     bool       `xml:"found,attr"`
+	FromCache bool       `xml:"cache,attr,omitempty"`
+	Hops      int        `xml:"hops,attr"`
+	Data      wire.Bytes `xml:"data,omitempty"`
+}
+
+// Kind implements wire.Message.
+func (GetReplyMsg) Kind() string { return "store.getReply" }
+
+// ReplicateMsg pushes a replica to a leaf-set neighbour.
+type ReplicateMsg struct {
+	GUID string     `xml:"guid,attr"`
+	Data wire.Bytes `xml:"data"`
+}
+
+// Kind implements wire.Message.
+func (ReplicateMsg) Kind() string { return "store.replicate" }
+
+// CacheFillMsg seeds a path node's promiscuous cache.
+type CacheFillMsg struct {
+	GUID string     `xml:"guid,attr"`
+	Data wire.Bytes `xml:"data"`
+}
+
+// Kind implements wire.Message.
+func (CacheFillMsg) Kind() string { return "store.cacheFill" }
+
+// PushMsg is routed toward an object's root, instructing it to push a
+// replica to Target — the primitive the data placement policies of §4.6
+// (latency-reduction, backup) are built on.
+type PushMsg struct {
+	GUID   string `xml:"guid,attr"`
+	Target string `xml:"target,attr"`
+}
+
+// Kind implements wire.Message.
+func (PushMsg) Kind() string { return "store.push" }
+
+// RegisterMessages records all storage message types in a wire registry.
+func RegisterMessages(r *wire.Registry) {
+	r.Register(&PutMsg{})
+	r.Register(&AckMsg{})
+	r.Register(&GetMsg{})
+	r.Register(&GetReplyMsg{})
+	r.Register(&ReplicateMsg{})
+	r.Register(&CacheFillMsg{})
+	r.Register(&PushMsg{})
+}

@@ -1,0 +1,606 @@
+// Package store implements the paper's P2P storage architecture (§4.5):
+// PAST-like replicated object storage over Plaxton routing, with
+// content-hash GUIDs, k-replica placement on the numerically closest
+// nodes, RAID-like self-healing re-replication under churn (§4.6), and
+// promiscuous caching — "data is free to be cached anywhere at any time
+// … crucial to the performance of the system if the fetching of remote
+// data at every access is to be avoided".
+//
+// Erasure-coded storage (storeCoded/fetchCoded) reconstitutes objects
+// from any m of m+r fragments, per the schemes the paper cites.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/gloss/active/internal/erasure"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/plaxton"
+	"github.com/gloss/active/internal/wire"
+)
+
+// ErrNotFound reports that no live replica of the object was reachable.
+var ErrNotFound = errors.New("store: object not found")
+
+// Options configure a storage node.
+type Options struct {
+	// Replicas is the target copy count k (including the root). Default 3.
+	Replicas int
+	// CacheBytes budgets the promiscuous cache. Default 1 MiB.
+	CacheBytes int64
+	// DisableCache turns promiscuous caching off (E-T3 ablation).
+	DisableCache bool
+	// RepairInterval is the period of replica maintenance. Default 5s;
+	// negative disables maintenance.
+	RepairInterval time.Duration
+	// RequestTimeout bounds put/get operations. Default 5s.
+	RequestTimeout time.Duration
+	// Retries is the number of times a timed-out get/put is re-issued.
+	// Default 1.
+	Retries int
+	// ErasureData/ErasureParity configure coded storage (m, r) used by
+	// PutCoded/GetCoded. Defaults 4 and 2.
+	ErasureData   int
+	ErasureParity int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Replicas == 0 {
+		o.Replicas = 3
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 1 << 20
+	}
+	if o.RepairInterval == 0 {
+		o.RepairInterval = 5 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 1
+	}
+	if o.ErasureData == 0 {
+		o.ErasureData = 4
+	}
+	if o.ErasureParity == 0 {
+		o.ErasureParity = 2
+	}
+}
+
+// Stats counts storage activity.
+type Stats struct {
+	Puts          uint64
+	Gets          uint64
+	LocalHits     uint64 // answered before touching the network
+	CacheHits     uint64 // answered from a path node's cache
+	ReplicaHits   uint64 // answered from a path node's replica set
+	RootAnswers   uint64 // answered by the object's root
+	NotFound      uint64
+	Timeouts      uint64
+	Retries       uint64
+	CacheFills    uint64
+	RepairPushes  uint64
+	StoredObjects int
+	StoredBytes   int64
+	CacheObjects  int
+	CacheBytes    int64
+}
+
+type pendingPut struct {
+	cb    func(error)
+	timer interface{ Stop() bool }
+}
+
+type pendingGet struct {
+	guid    ids.ID
+	cb      func([]byte, error)
+	timer   interface{ Stop() bool }
+	retries int
+}
+
+// Store is one storage node ("storelet" host).
+type Store struct {
+	ep      netapi.Endpoint
+	overlay *plaxton.Overlay
+	opts    Options
+	code    *erasure.Code
+
+	objects map[ids.ID][]byte
+	cache   *lruCache
+
+	nextReq     uint64
+	pendingPuts map[uint64]*pendingPut
+	pendingGets map[uint64]*pendingGet
+
+	stats Stats
+}
+
+// New builds a storage node on top of an overlay and registers handlers.
+func New(ep netapi.Endpoint, overlay *plaxton.Overlay, opts Options) *Store {
+	opts.applyDefaults()
+	code, err := erasure.NewCode(opts.ErasureData, opts.ErasureParity)
+	if err != nil {
+		panic(fmt.Sprintf("store: bad erasure parameters: %v", err)) // programmer error at wiring time
+	}
+	s := &Store{
+		ep:          ep,
+		overlay:     overlay,
+		opts:        opts,
+		code:        code,
+		objects:     make(map[ids.ID][]byte),
+		cache:       newLRU(opts.CacheBytes),
+		pendingPuts: make(map[uint64]*pendingPut),
+		pendingGets: make(map[uint64]*pendingGet),
+	}
+	overlay.OnDeliver("store.put", s.deliverPut)
+	overlay.OnDeliver("store.get", s.deliverGet)
+	overlay.OnDeliver("store.push", s.deliverPush)
+	overlay.SetForwardHook(s.forwardHook)
+	ep.Handle("store.ack", s.handleAck)
+	ep.Handle("store.getReply", s.handleGetReply)
+	ep.Handle("store.replicate", s.handleReplicate)
+	ep.Handle("store.cacheFill", s.handleCacheFill)
+	// RepairInterval < 0 disables maintenance entirely, including the
+	// leaf-set-change trigger (the E-T2 no-healing ablation).
+	if opts.RepairInterval > 0 {
+		overlay.OnLeavesChanged(func() { s.repair() })
+		s.startRepair()
+	}
+	return s
+}
+
+// GUIDFor returns the content-hash GUID an object will be stored under.
+func GUIDFor(content []byte) ids.ID { return ids.FromBytes(content) }
+
+// Stats returns a snapshot of counters and occupancy.
+func (s *Store) Stats() Stats {
+	st := s.stats
+	st.StoredObjects = len(s.objects)
+	for _, d := range s.objects {
+		st.StoredBytes += int64(len(d))
+	}
+	st.CacheObjects = s.cache.len()
+	st.CacheBytes = s.cache.used()
+	return st
+}
+
+// Holds reports whether this node stores a primary/replica copy.
+func (s *Store) Holds(guid ids.ID) bool {
+	_, ok := s.objects[guid]
+	return ok
+}
+
+// Cached reports whether this node's promiscuous cache holds a copy.
+func (s *Store) Cached(guid ids.ID) bool {
+	_, ok := s.cache.items[guid]
+	return ok
+}
+
+// --- client API ------------------------------------------------------------
+
+// Put stores content under its content-hash GUID; cb receives the GUID
+// once the root acknowledges, or an error.
+func (s *Store) Put(content []byte, cb func(ids.ID, error)) {
+	guid := GUIDFor(content)
+	s.PutAs(guid, content, func(err error) { cb(guid, err) })
+}
+
+// PutAs stores content under an explicit GUID (used for mutable keys such
+// as fact-base entries and matchlet directories).
+func (s *Store) PutAs(guid ids.ID, content []byte, cb func(error)) {
+	s.stats.Puts++
+	s.nextReq++
+	req := s.nextReq
+	p := &pendingPut{cb: cb}
+	p.timer = s.ep.Clock().After(s.opts.RequestTimeout, func() {
+		if _, ok := s.pendingPuts[req]; ok {
+			delete(s.pendingPuts, req)
+			s.stats.Timeouts++
+			cb(fmt.Errorf("store: put %s timed out", guid.Short()))
+		}
+	})
+	s.pendingPuts[req] = p
+	msg := &PutMsg{GUID: guid.String(), ReqID: req, Origin: s.ep.ID().String(), Data: content}
+	if err := s.overlay.Route(guid, msg); err != nil {
+		p.timer.Stop()
+		delete(s.pendingPuts, req)
+		cb(err)
+	}
+}
+
+// Get fetches the object stored under guid.
+func (s *Store) Get(guid ids.ID, cb func([]byte, error)) {
+	s.stats.Gets++
+	// Local copies answer immediately (the cheapest promiscuous hit).
+	if data, ok := s.objects[guid]; ok {
+		s.stats.LocalHits++
+		cb(data, nil)
+		return
+	}
+	if !s.opts.DisableCache {
+		if data, ok := s.cache.get(guid); ok {
+			s.stats.LocalHits++
+			cb(data, nil)
+			return
+		}
+	}
+	s.issueGet(guid, cb, s.opts.Retries)
+}
+
+func (s *Store) issueGet(guid ids.ID, cb func([]byte, error), retries int) {
+	s.nextReq++
+	req := s.nextReq
+	g := &pendingGet{guid: guid, cb: cb, retries: retries}
+	g.timer = s.ep.Clock().After(s.opts.RequestTimeout, func() {
+		if _, ok := s.pendingGets[req]; !ok {
+			return
+		}
+		delete(s.pendingGets, req)
+		if g.retries > 0 {
+			s.stats.Retries++
+			s.issueGet(guid, cb, g.retries-1)
+			return
+		}
+		s.stats.Timeouts++
+		cb(nil, fmt.Errorf("store: get %s timed out", guid.Short()))
+	})
+	s.pendingGets[req] = g
+	msg := &GetMsg{GUID: guid.String(), ReqID: req}
+	if err := s.overlay.RouteTraced(guid, msg); err != nil {
+		g.timer.Stop()
+		delete(s.pendingGets, req)
+		cb(nil, err)
+	}
+}
+
+// --- coded storage -----------------------------------------------------------
+
+// fragGUID derives the storage key of fragment i of a coded object.
+func fragGUID(guid ids.ID, i int) ids.ID {
+	return ids.FromString(fmt.Sprintf("%s/frag/%d", guid, i))
+}
+
+// packFragment serialises a fragment as a small binary header + shard.
+func packFragment(f erasure.Fragment) []byte {
+	out := make([]byte, 8+len(f.Shard))
+	binary.BigEndian.PutUint32(out[0:4], uint32(f.Index))
+	binary.BigEndian.PutUint32(out[4:8], uint32(f.OrigLen))
+	copy(out[8:], f.Shard)
+	return out
+}
+
+func unpackFragment(b []byte) (erasure.Fragment, error) {
+	if len(b) < 8 {
+		return erasure.Fragment{}, fmt.Errorf("store: fragment too short (%d bytes)", len(b))
+	}
+	return erasure.Fragment{
+		Index:   int(binary.BigEndian.Uint32(b[0:4])),
+		OrigLen: int(binary.BigEndian.Uint32(b[4:8])),
+		Shard:   b[8:],
+	}, nil
+}
+
+// PutCoded stores content as m+r erasure-coded fragments spread over the
+// ring; cb fires once at least m fragment roots acknowledged (the object
+// is then reconstructible).
+func (s *Store) PutCoded(content []byte, cb func(ids.ID, error)) {
+	guid := GUIDFor(content)
+	frags := s.code.Encode(content)
+	need := s.code.Data()
+	acked, failed, done := 0, 0, false
+	total := len(frags)
+	for i, f := range frags {
+		s.PutAs(fragGUID(guid, i), packFragment(f), func(err error) {
+			if done {
+				return
+			}
+			if err != nil {
+				failed++
+			} else {
+				acked++
+			}
+			if acked >= need {
+				done = true
+				cb(guid, nil)
+				return
+			}
+			if failed > total-need {
+				done = true
+				cb(guid, fmt.Errorf("store: coded put failed: only %d/%d fragments stored", acked, total))
+			}
+		})
+	}
+}
+
+// GetCoded fetches any m fragments of a coded object and reconstructs it.
+func (s *Store) GetCoded(guid ids.ID, cb func([]byte, error)) {
+	total := s.code.Total()
+	need := s.code.Data()
+	frags := make([]erasure.Fragment, 0, need)
+	failed, done := 0, false
+	for i := 0; i < total; i++ {
+		s.Get(fragGUID(guid, i), func(data []byte, err error) {
+			if done {
+				return
+			}
+			if err != nil {
+				failed++
+				if failed > total-need {
+					done = true
+					cb(nil, fmt.Errorf("store: coded get %s: %w (lost %d fragments)", guid.Short(), ErrNotFound, failed))
+				}
+				return
+			}
+			f, perr := unpackFragment(data)
+			if perr != nil {
+				failed++
+				return
+			}
+			frags = append(frags, f)
+			if len(frags) == need {
+				done = true
+				content, derr := s.code.Decode(frags)
+				if derr != nil {
+					cb(nil, derr)
+					return
+				}
+				cb(content, nil)
+			}
+		})
+	}
+}
+
+// --- server side ---------------------------------------------------------------
+
+// deliverPut runs at the object's root.
+func (s *Store) deliverPut(_ plaxton.RouteInfo, msg wire.Message) {
+	pm := msg.(*PutMsg)
+	guid, err := ids.Parse(pm.GUID)
+	if err != nil {
+		return
+	}
+	origin, err := ids.Parse(pm.Origin)
+	if err != nil {
+		return
+	}
+	s.objects[guid] = pm.Data
+	s.replicate(guid, pm.Data)
+	if origin == s.ep.ID() {
+		s.handleAck(nil, s.ep.ID(), &AckMsg{ReqID: pm.ReqID, OK: true})
+		return
+	}
+	s.ep.Send(origin, &AckMsg{ReqID: pm.ReqID, OK: true})
+}
+
+// replicate pushes copies to the k-1 leaf-set nodes closest to guid.
+func (s *Store) replicate(guid ids.ID, data []byte) {
+	for _, n := range s.replicaTargets(guid) {
+		s.stats.RepairPushes++
+		s.ep.Send(n, &ReplicateMsg{GUID: guid.String(), Data: data})
+	}
+}
+
+// replicaTargets returns the k-1 leaf-set members numerically closest to
+// guid, deterministically ordered.
+func (s *Store) replicaTargets(guid ids.ID) []ids.ID {
+	leaves := s.overlay.Leaves()
+	sort.Slice(leaves, func(i, j int) bool { return ids.Closer(guid, leaves[i], leaves[j]) })
+	n := s.opts.Replicas - 1
+	if n > len(leaves) {
+		n = len(leaves)
+	}
+	return leaves[:n]
+}
+
+// RequestPush asks the object's root to place a replica on target
+// (placement-policy primitive; fire-and-forget).
+func (s *Store) RequestPush(guid ids.ID, target ids.ID) {
+	msg := &PushMsg{GUID: guid.String(), Target: target.String()}
+	if err := s.overlay.Route(guid, msg); err != nil {
+		s.stats.Timeouts++
+	}
+}
+
+// deliverPush runs at the object's root.
+func (s *Store) deliverPush(_ plaxton.RouteInfo, msg wire.Message) {
+	pm := msg.(*PushMsg)
+	guid, err := ids.Parse(pm.GUID)
+	if err != nil {
+		return
+	}
+	target, err := ids.Parse(pm.Target)
+	if err != nil {
+		return
+	}
+	data, ok := s.objects[guid]
+	if !ok {
+		return
+	}
+	s.stats.RepairPushes++
+	s.ep.Send(target, &ReplicateMsg{GUID: guid.String(), Data: data})
+}
+
+// deliverGet runs at the object's root (if no path copy answered first).
+func (s *Store) deliverGet(info plaxton.RouteInfo, msg wire.Message) {
+	gm := msg.(*GetMsg)
+	guid, err := ids.Parse(gm.GUID)
+	if err != nil {
+		return
+	}
+	reply := &GetReplyMsg{ReqID: gm.ReqID, GUID: gm.GUID, Hops: info.Hops}
+	data, ok := s.objects[guid]
+	if !ok && !s.opts.DisableCache {
+		data, ok = s.cache.get(guid)
+	}
+	if ok {
+		reply.Found = true
+		reply.Data = data
+		s.stats.RootAnswers++
+		// Promiscuous caching along the lookup path: seed the node just
+		// before the root (PAST's scheme).
+		s.cacheFillPath(info.Path, guid, data)
+	} else {
+		s.stats.NotFound++
+	}
+	if info.Origin == s.ep.ID() {
+		s.handleGetReply(nil, s.ep.ID(), reply)
+		return
+	}
+	s.ep.Send(info.Origin, reply)
+}
+
+// cacheFillPath seeds the last traversed node's cache.
+func (s *Store) cacheFillPath(path []ids.ID, guid ids.ID, data []byte) {
+	if s.opts.DisableCache || len(path) == 0 {
+		return
+	}
+	last := path[len(path)-1]
+	if last == s.ep.ID() {
+		if len(path) < 2 {
+			return
+		}
+		last = path[len(path)-2]
+	}
+	s.stats.CacheFills++
+	s.ep.Send(last, &CacheFillMsg{GUID: guid.String(), Data: data})
+}
+
+// forwardHook answers gets mid-path from replicas or the promiscuous cache.
+func (s *Store) forwardHook(info plaxton.RouteInfo, msg wire.Message) bool {
+	gm, ok := msg.(*GetMsg)
+	if !ok {
+		return false
+	}
+	if info.Origin == s.ep.ID() && info.Hops == 0 {
+		return false // our own fresh request; Get() already checked locally
+	}
+	guid, err := ids.Parse(gm.GUID)
+	if err != nil {
+		return false
+	}
+	if s.isRoot(guid) {
+		return false // let normal delivery answer (counted as RootAnswers)
+	}
+	reply := &GetReplyMsg{ReqID: gm.ReqID, GUID: gm.GUID, Hops: info.Hops}
+	if data, have := s.objects[guid]; have {
+		s.stats.ReplicaHits++
+		reply.Found = true
+		reply.Data = data
+		s.ep.Send(info.Origin, reply)
+		return true
+	}
+	if !s.opts.DisableCache {
+		if data, have := s.cache.get(guid); have {
+			s.stats.CacheHits++
+			reply.Found = true
+			reply.FromCache = true
+			reply.Data = data
+			s.ep.Send(info.Origin, reply)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) handleAck(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
+	am := msg.(*AckMsg)
+	p, ok := s.pendingPuts[am.ReqID]
+	if !ok {
+		return
+	}
+	delete(s.pendingPuts, am.ReqID)
+	p.timer.Stop()
+	if am.OK {
+		p.cb(nil)
+		return
+	}
+	p.cb(errors.New(am.Err))
+}
+
+func (s *Store) handleGetReply(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
+	rm := msg.(*GetReplyMsg)
+	g, ok := s.pendingGets[rm.ReqID]
+	if !ok {
+		return
+	}
+	delete(s.pendingGets, rm.ReqID)
+	g.timer.Stop()
+	if !rm.Found {
+		g.cb(nil, fmt.Errorf("%w: %s", ErrNotFound, rm.GUID))
+		return
+	}
+	// Promiscuous caching at the reader.
+	if !s.opts.DisableCache {
+		s.cache.put(g.guid, rm.Data)
+	}
+	g.cb(rm.Data, nil)
+}
+
+func (s *Store) handleReplicate(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
+	rm := msg.(*ReplicateMsg)
+	guid, err := ids.Parse(rm.GUID)
+	if err != nil {
+		return
+	}
+	s.objects[guid] = rm.Data
+}
+
+func (s *Store) handleCacheFill(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
+	cm := msg.(*CacheFillMsg)
+	guid, err := ids.Parse(cm.GUID)
+	if err != nil {
+		return
+	}
+	if !s.opts.DisableCache {
+		s.cache.put(guid, cm.Data)
+	}
+}
+
+// --- maintenance ---------------------------------------------------------------
+
+func (s *Store) startRepair() {
+	if s.opts.RepairInterval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		s.repair()
+		s.ep.Clock().After(s.opts.RepairInterval, tick)
+	}
+	s.ep.Clock().After(s.opts.RepairInterval, tick)
+}
+
+// repair re-pushes replicas for every object this node is root of — the
+// RAID-like self-healing of §4.6: "a rule might create 5 copies of some
+// data for resilience, but over time some of these might become
+// unavailable — in which case further copies should be made".
+func (s *Store) repair() {
+	guids := make([]ids.ID, 0, len(s.objects))
+	for guid := range s.objects {
+		guids = append(guids, guid)
+	}
+	sort.Slice(guids, func(i, j int) bool { return ids.Less(guids[i], guids[j]) })
+	for _, guid := range guids {
+		if s.isRoot(guid) {
+			s.replicate(guid, s.objects[guid])
+		}
+	}
+}
+
+// isRoot reports whether this node is numerically closest to guid among
+// itself and its leaf set.
+func (s *Store) isRoot(guid ids.ID) bool {
+	self := s.ep.ID()
+	for _, l := range s.overlay.Leaves() {
+		if ids.Closer(guid, l, self) {
+			return false
+		}
+	}
+	return true
+}

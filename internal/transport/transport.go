@@ -1,0 +1,571 @@
+// Package transport is the real-network counterpart of internal/simnet:
+// a TCP implementation of netapi.Endpoint carrying length-prefixed XML
+// envelopes (§4.7: open data formats and interfaces on the wire). The
+// same protocol stacks — overlay, storage, pub/sub, bundle deployment,
+// pipelines — run unchanged over it; cmd/activenode and cmd/glossctl use
+// it for multi-process deployments.
+//
+// Concurrency model: all protocol callbacks (message handlers, timers,
+// request completions) execute on a single actor goroutine per node,
+// preserving the lock-free discipline protocol code is written against.
+// Blocking I/O lives in per-connection reader/writer goroutines.
+// Connections are unidirectional: a node dials a write-only connection to
+// each peer it sends to, and accepts read-only connections; this removes
+// all simultaneous-connect conflicts.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/vclock"
+	"github.com/gloss/active/internal/wire"
+)
+
+// maxFrame bounds a single message frame (16 MiB).
+const maxFrame = 16 << 20
+
+// outboxSize bounds per-peer queued frames; excess is dropped (the
+// protocols tolerate loss).
+const outboxSize = 256
+
+// HelloMsg identifies the dialing node and gossips its address book.
+type HelloMsg struct {
+	ID     string      `xml:"id,attr"`
+	Addr   string      `xml:"addr,attr"`
+	Region string      `xml:"region,attr"`
+	X      float64     `xml:"x,attr"`
+	Y      float64     `xml:"y,attr"`
+	Known  []HelloPeer `xml:"peer"`
+}
+
+// HelloPeer is one address-book entry.
+type HelloPeer struct {
+	ID   string `xml:"id,attr"`
+	Addr string `xml:"addr,attr"`
+}
+
+// Kind implements wire.Message.
+func (HelloMsg) Kind() string { return "transport.hello" }
+
+// RegisterMessages records transport message types in a wire registry.
+func RegisterMessages(r *wire.Registry) { r.Register(&HelloMsg{}) }
+
+// Options configure a TCP node.
+type Options struct {
+	// Listen is the TCP listen address (e.g. "127.0.0.1:0").
+	Listen string
+	// Region and Coord describe the node for placement policies.
+	Region string
+	Coord  netapi.Coord
+	// Seed drives the node's RNG.
+	Seed int64
+	// DialTimeout bounds connection attempts. Default 3s.
+	DialTimeout time.Duration
+	// Logger receives diagnostics; nil discards.
+	Logger *slog.Logger
+}
+
+func (o *Options) applyDefaults() {
+	if o.Listen == "" {
+		o.Listen = "127.0.0.1:0"
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	Sent      uint64
+	Received  uint64
+	Dropped   uint64 // no address, queue overflow, encode failures
+	Dials     uint64
+	DialFails uint64
+}
+
+type peerState int
+
+const (
+	peerIdle peerState = iota
+	peerDialing
+	peerConnected
+)
+
+type peer struct {
+	id    ids.ID
+	addr  string
+	state peerState
+	out   chan []byte
+	conn  net.Conn
+}
+
+type pendingReq struct {
+	cb    netapi.ReplyFunc
+	timer vclock.Timer
+}
+
+// Node is a TCP-backed netapi.Endpoint.
+type Node struct {
+	info  netapi.NodeInfo
+	reg   *wire.Registry
+	opts  Options
+	log   *slog.Logger
+	ln    net.Listener
+	start time.Time
+	rng   *rand.Rand
+
+	inbox    chan func()
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+
+	// Actor-confined state.
+	handlers map[string]netapi.Handler
+	peers    map[ids.ID]*peer
+	pending  map[uint64]*pendingReq
+	nextCorr uint64
+	stats    Stats
+}
+
+var _ netapi.Endpoint = (*Node)(nil)
+
+// Listen starts a TCP node. Call Close to release its goroutines.
+func Listen(id ids.ID, reg *wire.Registry, opts Options) (*Node, error) {
+	opts.applyDefaults()
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", opts.Listen, err)
+	}
+	n := &Node{
+		info:     netapi.NodeInfo{ID: id, Region: opts.Region, Coord: opts.Coord},
+		reg:      reg,
+		opts:     opts,
+		log:      opts.Logger.With("node", id.Short()),
+		ln:       ln,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		inbox:    make(chan func(), 1024),
+		closed:   make(chan struct{}),
+		handlers: make(map[string]netapi.Handler),
+		peers:    make(map[ids.ID]*peer),
+		pending:  make(map[uint64]*pendingReq),
+	}
+	n.wg.Add(2)
+	go n.actorLoop()
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID implements netapi.Endpoint.
+func (n *Node) ID() ids.ID { return n.info.ID }
+
+// Info implements netapi.Endpoint.
+func (n *Node) Info() netapi.NodeInfo { return n.info }
+
+// Rand implements netapi.Endpoint. Only protocol code on the actor loop
+// may use it.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Clock implements netapi.Endpoint with wall-clock time; callbacks are
+// posted to the actor loop.
+func (n *Node) Clock() vclock.Clock { return (*realClock)(n) }
+
+type realClock Node
+
+func (c *realClock) Now() time.Duration { return time.Since(c.start) }
+
+func (c *realClock) After(d time.Duration, fn func()) vclock.Timer {
+	n := (*Node)(c)
+	t := time.AfterFunc(d, func() { n.do(fn) })
+	return realTimer{t}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }
+
+// do posts fn to the actor loop (no-op after Close).
+func (n *Node) do(fn func()) {
+	select {
+	case <-n.closed:
+	case n.inbox <- fn:
+	}
+}
+
+// Do schedules fn on the node's actor loop, where all protocol state may
+// be touched safely. Code outside the loop (main goroutines, tests) must
+// use Do to invoke protocol APIs such as Store.Get or Overlay.Join — the
+// loop owns their state. No-op after Close.
+func (n *Node) Do(fn func()) { n.do(fn) }
+
+func (n *Node) actorLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case fn := <-n.inbox:
+			fn()
+		}
+	}
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.closeOne.Do(func() {
+		close(n.closed)
+		_ = n.ln.Close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot (posted through the actor loop for safety).
+func (n *Node) Stats() Stats {
+	ch := make(chan Stats, 1)
+	n.do(func() { ch <- n.stats })
+	select {
+	case s := <-ch:
+		return s
+	case <-time.After(time.Second):
+		return Stats{}
+	}
+}
+
+// Handle implements netapi.Endpoint.
+func (n *Node) Handle(kind string, h netapi.Handler) {
+	n.do(func() { n.handlers[kind] = h })
+}
+
+// AddPeer seeds the address book.
+func (n *Node) AddPeer(id ids.ID, addr string) {
+	n.do(func() { n.ensurePeer(id).addr = addr })
+}
+
+// Send implements netapi.Endpoint.
+func (n *Node) Send(to ids.ID, msg wire.Message) {
+	env := &wire.Envelope{From: n.info.ID, To: to, Msg: msg}
+	n.do(func() { n.transmit(env) })
+}
+
+// Request implements netapi.Endpoint.
+func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb netapi.ReplyFunc) {
+	n.do(func() {
+		n.nextCorr++
+		corr := n.nextCorr
+		env := &wire.Envelope{From: n.info.ID, To: to, CorrID: corr, Msg: msg}
+		p := &pendingReq{cb: cb}
+		p.timer = n.Clock().After(timeout, func() {
+			if _, ok := n.pending[corr]; ok {
+				delete(n.pending, corr)
+				cb(nil, netapi.ErrTimeout)
+			}
+		})
+		n.pending[corr] = p
+		n.transmit(env)
+	})
+}
+
+// --- sending (actor loop) ------------------------------------------------------
+
+func (n *Node) ensurePeer(id ids.ID) *peer {
+	p, ok := n.peers[id]
+	if !ok {
+		p = &peer{id: id, out: make(chan []byte, outboxSize)}
+		n.peers[id] = p
+	}
+	return p
+}
+
+func (n *Node) transmit(env *wire.Envelope) {
+	if env.To == n.info.ID {
+		// Local loopback.
+		n.dispatch(env)
+		return
+	}
+	frame, err := n.reg.Encode(env)
+	if err != nil {
+		n.stats.Dropped++
+		n.log.Warn("encode failed", "err", err)
+		return
+	}
+	p := n.ensurePeer(env.To)
+	if p.addr == "" {
+		n.stats.Dropped++
+		n.log.Debug("no address for peer", "peer", env.To.Short())
+		return
+	}
+	select {
+	case p.out <- frame:
+		n.stats.Sent++
+	default:
+		n.stats.Dropped++
+	}
+	if p.state == peerIdle {
+		p.state = peerDialing
+		n.stats.Dials++
+		n.wg.Add(1)
+		go n.dialPeer(p.id, p.addr)
+	}
+}
+
+// dialPeer establishes the write-only connection to a peer.
+func (n *Node) dialPeer(id ids.ID, addr string) {
+	defer n.wg.Done()
+	conn, err := net.DialTimeout("tcp", addr, n.opts.DialTimeout)
+	if err != nil {
+		n.do(func() {
+			n.stats.DialFails++
+			if p, ok := n.peers[id]; ok {
+				p.state = peerIdle
+			}
+		})
+		return
+	}
+	hello, err := n.helloFrame()
+	if err != nil || writeFrame(conn, hello) != nil {
+		_ = conn.Close()
+		n.do(func() {
+			if p, ok := n.peers[id]; ok {
+				p.state = peerIdle
+			}
+		})
+		return
+	}
+	n.do(func() {
+		p, ok := n.peers[id]
+		if !ok {
+			_ = conn.Close()
+			return
+		}
+		p.state = peerConnected
+		p.conn = conn
+		n.wg.Add(1)
+		go n.writeLoop(p, conn)
+	})
+}
+
+// helloFrame builds the dialer's hello (called from dial goroutine; the
+// address book snapshot is fetched via the actor loop).
+func (n *Node) helloFrame() ([]byte, error) {
+	type bookEntry struct {
+		id   ids.ID
+		addr string
+	}
+	ch := make(chan []bookEntry, 1)
+	n.do(func() {
+		var book []bookEntry
+		for id, p := range n.peers {
+			if p.addr != "" {
+				book = append(book, bookEntry{id, p.addr})
+			}
+		}
+		ch <- book
+	})
+	var book []bookEntry
+	select {
+	case book = <-ch:
+	case <-n.closed:
+		return nil, errors.New("transport: closed")
+	}
+	hello := &HelloMsg{
+		ID:     n.info.ID.String(),
+		Addr:   n.Addr(),
+		Region: n.info.Region,
+		X:      n.info.Coord.X,
+		Y:      n.info.Coord.Y,
+	}
+	for _, e := range book {
+		hello.Known = append(hello.Known, HelloPeer{ID: e.id.String(), Addr: e.addr})
+	}
+	return n.reg.Encode(&wire.Envelope{From: n.info.ID, To: n.info.ID, Msg: hello})
+}
+
+func (n *Node) writeLoop(p *peer, conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case frame := <-p.out:
+			if err := writeFrame(conn, frame); err != nil {
+				n.do(func() {
+					p.state = peerIdle
+					p.conn = nil
+				})
+				return
+			}
+		}
+	}
+}
+
+// --- receiving -------------------------------------------------------------------
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				n.log.Debug("accept error", "err", err)
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	// Close the connection promptly on shutdown.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-n.closed:
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		env, err := n.reg.Decode(frame)
+		if err != nil {
+			n.log.Warn("bad frame", "err", err)
+			return
+		}
+		n.do(func() {
+			n.stats.Received++
+			if hello, ok := env.Msg.(*HelloMsg); ok {
+				n.mergeHello(hello)
+				return
+			}
+			n.dispatch(env)
+		})
+	}
+}
+
+// mergeHello learns addresses from a peer's hello.
+func (n *Node) mergeHello(h *HelloMsg) {
+	if id, err := ids.Parse(h.ID); err == nil && h.Addr != "" {
+		n.ensurePeer(id).addr = h.Addr
+	}
+	for _, k := range h.Known {
+		id, err := ids.Parse(k.ID)
+		if err != nil || k.Addr == "" || id == n.info.ID {
+			continue
+		}
+		p := n.ensurePeer(id)
+		if p.addr == "" {
+			p.addr = k.Addr
+		}
+	}
+}
+
+// dispatch runs on the actor loop.
+func (n *Node) dispatch(env *wire.Envelope) {
+	if env.IsReply {
+		p, ok := n.pending[env.CorrID]
+		if !ok {
+			return
+		}
+		delete(n.pending, env.CorrID)
+		p.timer.Stop()
+		if env.Err != "" {
+			p.cb(env.Msg, errors.New(env.Err))
+			return
+		}
+		p.cb(env.Msg, nil)
+		return
+	}
+	if env.Msg == nil {
+		return
+	}
+	h, ok := n.handlers[env.Msg.Kind()]
+	if !ok {
+		n.log.Debug("unhandled message", "kind", env.Msg.Kind())
+		return
+	}
+	h(&tcpCtx{node: n, env: env}, env.From, env.Msg)
+}
+
+type tcpCtx struct {
+	node    *Node
+	env     *wire.Envelope
+	replied bool
+}
+
+func (c *tcpCtx) Reply(msg wire.Message) {
+	if c.env.CorrID == 0 || c.replied {
+		return
+	}
+	c.replied = true
+	c.node.transmit(&wire.Envelope{
+		From: c.node.info.ID, To: c.env.From,
+		CorrID: c.env.CorrID, IsReply: true, Msg: msg,
+	})
+}
+
+func (c *tcpCtx) ReplyErr(err error) {
+	if c.env.CorrID == 0 || c.replied {
+		return
+	}
+	c.replied = true
+	c.node.transmit(&wire.Envelope{
+		From: c.node.info.ID, To: c.env.From,
+		CorrID: c.env.CorrID, IsReply: true, Err: err.Error(),
+	})
+}
+
+// --- framing -------------------------------------------------------------------
+
+func writeFrame(conn net.Conn, frame []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/plaxton"
+	"github.com/gloss/active/internal/store"
+	"github.com/gloss/active/internal/wire"
+)
+
+type echoMsg struct {
+	Text string `xml:"text,attr"`
+}
+
+func (echoMsg) Kind() string { return "test.echo" }
+
+func testReg() *wire.Registry {
+	reg := wire.NewRegistry()
+	RegisterMessages(reg)
+	reg.Register(&echoMsg{})
+	plaxton.RegisterMessages(reg)
+	store.RegisterMessages(reg)
+	return reg
+}
+
+func newNode(t *testing.T, name string, reg *wire.Registry) *Node {
+	t.Helper()
+	n, err := Listen(ids.FromString(name), reg, Options{Region: "test", Seed: 1})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+func TestSendAndHandle(t *testing.T) {
+	reg := testReg()
+	a := newNode(t, "tcp-a", reg)
+	b := newNode(t, "tcp-b", reg)
+	a.AddPeer(b.ID(), b.Addr())
+
+	got := make(chan string, 1)
+	b.Handle("test.echo", func(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+		if from != a.ID() {
+			t.Errorf("from = %v", from)
+		}
+		got <- msg.(*echoMsg).Text
+	})
+	a.Send(b.ID(), &echoMsg{Text: "over tcp"})
+	select {
+	case s := <-got:
+		if s != "over tcp" {
+			t.Fatalf("payload = %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never arrived")
+	}
+}
+
+func TestRequestReplyOverTCP(t *testing.T) {
+	reg := testReg()
+	a := newNode(t, "tcp-req-a", reg)
+	b := newNode(t, "tcp-req-b", reg)
+	a.AddPeer(b.ID(), b.Addr())
+	b.AddPeer(a.ID(), a.Addr())
+
+	b.Handle("test.echo", func(ctx netapi.Ctx, _ ids.ID, msg wire.Message) {
+		ctx.Reply(&echoMsg{Text: "re: " + msg.(*echoMsg).Text})
+	})
+	done := make(chan string, 1)
+	a.Request(b.ID(), &echoMsg{Text: "hi"}, 5*time.Second, func(reply wire.Message, err error) {
+		if err != nil {
+			done <- "err: " + err.Error()
+			return
+		}
+		done <- reply.(*echoMsg).Text
+	})
+	select {
+	case s := <-done:
+		if s != "re: hi" {
+			t.Fatalf("reply = %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never completed")
+	}
+}
+
+func TestRequestTimeoutOverTCP(t *testing.T) {
+	reg := testReg()
+	a := newNode(t, "tcp-to-a", reg)
+	// Peer address points at a port that is not listening.
+	dead := ids.FromString("tcp-dead")
+	a.AddPeer(dead, "127.0.0.1:1")
+	done := make(chan error, 1)
+	a.Request(dead, &echoMsg{}, 500*time.Millisecond, func(_ wire.Message, err error) {
+		done <- err
+	})
+	select {
+	case err := <-done:
+		if !errors.Is(err, netapi.ErrTimeout) {
+			t.Fatalf("err = %v, want timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout never fired")
+	}
+}
+
+func TestHelloGossipsAddresses(t *testing.T) {
+	reg := testReg()
+	a := newNode(t, "tcp-g-a", reg)
+	b := newNode(t, "tcp-g-b", reg)
+	c := newNode(t, "tcp-g-c", reg)
+	// a knows b and c; b initially knows only a.
+	a.AddPeer(b.ID(), b.Addr())
+	a.AddPeer(c.ID(), c.Addr())
+	b.AddPeer(a.ID(), a.Addr())
+
+	// a dials b: hello carries c's address; b can then reach c.
+	bGot := make(chan struct{}, 1)
+	b.Handle("test.echo", func(netapi.Ctx, ids.ID, wire.Message) { bGot <- struct{}{} })
+	cGot := make(chan struct{}, 1)
+	c.Handle("test.echo", func(netapi.Ctx, ids.ID, wire.Message) { cGot <- struct{}{} })
+
+	a.Send(b.ID(), &echoMsg{Text: "seed"})
+	select {
+	case <-bGot:
+	case <-time.After(5 * time.Second):
+		t.Fatal("seed message lost")
+	}
+	b.Send(c.ID(), &echoMsg{Text: "via gossip"})
+	select {
+	case <-cGot:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gossiped address unusable")
+	}
+}
+
+func TestLoopbackToSelf(t *testing.T) {
+	reg := testReg()
+	a := newNode(t, "tcp-self", reg)
+	got := make(chan struct{}, 1)
+	a.Handle("test.echo", func(netapi.Ctx, ids.ID, wire.Message) { got <- struct{}{} })
+	a.Send(a.ID(), &echoMsg{})
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("loopback failed")
+	}
+}
+
+func TestClockAfterAndStop(t *testing.T) {
+	reg := testReg()
+	a := newNode(t, "tcp-clock", reg)
+	fired := make(chan struct{}, 1)
+	a.Clock().After(50*time.Millisecond, func() { fired <- struct{}{} })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	tm := a.Clock().After(time.Hour, func() { t.Error("stopped timer fired") })
+	if !tm.Stop() {
+		t.Fatal("Stop reported false for pending timer")
+	}
+}
+
+// TestOverlayAndStoreOverTCP boots a small Plaxton+store cluster over real
+// sockets: the same protocol code that runs under simnet.
+func TestOverlayAndStoreOverTCP(t *testing.T) {
+	reg := testReg()
+	const n = 4
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = newNode(t, "tcp-cluster-"+string(rune('a'+i)), reg)
+	}
+	// Full address book (in production the hello gossip fills this in).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				nodes[i].AddPeer(nodes[j].ID(), nodes[j].Addr())
+			}
+		}
+	}
+	overlays := make([]*plaxton.Overlay, n)
+	stores := make([]*store.Store, n)
+	for i := 0; i < n; i++ {
+		overlays[i] = plaxton.New(nodes[i], reg, plaxton.Options{
+			HeartbeatInterval: -1,
+			LeafHalf:          4,
+			JoinTimeout:       5 * time.Second,
+		})
+		stores[i] = store.New(nodes[i], overlays[i], store.Options{
+			RepairInterval: -1,
+			Replicas:       2,
+			RequestTimeout: 3 * time.Second,
+		})
+	}
+	nodes[0].Do(overlays[0].CreateNetwork)
+	for i := 1; i < n; i++ {
+		i := i
+		joined := make(chan error, 1)
+		nodes[i].Do(func() {
+			overlays[i].Join(overlays[0].ID(), func(err error) { joined <- err })
+		})
+		select {
+		case err := <-joined:
+			if err != nil {
+				t.Fatalf("join %d: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("join %d stuck", i)
+		}
+	}
+	// Put from node 1, get from node 3.
+	content := []byte("stored over real tcp sockets")
+	putDone := make(chan error, 1)
+	guidCh := make(chan ids.ID, 1)
+	nodes[1].Do(func() {
+		stores[1].Put(content, func(g ids.ID, err error) {
+			guidCh <- g
+			putDone <- err
+		})
+	})
+	select {
+	case err := <-putDone:
+		if err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("put stuck")
+	}
+	guid := <-guidCh
+	getDone := make(chan []byte, 1)
+	nodes[3].Do(func() {
+		stores[3].Get(guid, func(data []byte, err error) {
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+			getDone <- data
+		})
+	})
+	select {
+	case data := <-getDone:
+		if string(data) != string(content) {
+			t.Fatalf("content mismatch: %q", data)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("get stuck")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsTraffic(t *testing.T) {
+	reg := testReg()
+	a := newNode(t, "tcp-close-a", reg)
+	b := newNode(t, "tcp-close-b", reg)
+	a.AddPeer(b.ID(), b.Addr())
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sends after close are silently discarded.
+	a.Send(b.ID(), &echoMsg{})
+}

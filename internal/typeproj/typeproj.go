@@ -1,0 +1,399 @@
+// Package typeproj implements type projection for XML data, following the
+// approach the paper adopts (§3, citing Simeoni/Connor's language bindings
+// to XML): rather than generating types from the data or its schema, the
+// type is taken from the program context and *matched against* the data.
+//
+// The crucial property is tolerance of partial data-model specifications:
+// "the overall structure of the data is not tightly specified, yet it
+// contains structured 'islands' whose structure is known a priori".
+// A Projector searches an XML document for islands whose element name
+// matches the target type and binds only the fields the program declared,
+// ignoring everything else.
+//
+// Field binding is declared with `proj` struct tags:
+//
+//	type Place struct {
+//	    Name   string  `proj:"@name"`        // attribute
+//	    Lat    float64 `proj:"lat"`          // child element text
+//	    Lon    float64 `proj:"lon"`
+//	    Phone  string  `proj:"phone,required"` // error when absent
+//	    Hours  []Span  `proj:"open"`         // repeated child islands
+//	    Label  string  `proj:"text"`         // element character data
+//	}
+//
+// Untagged exported fields default to a child element with the
+// lower-cased field name. Unknown elements and attributes in the data are
+// ignored; missing optional fields keep their zero values.
+package typeproj
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Node is a generic parsed XML element (the "sea" the islands float in).
+type Node struct {
+	Name     string
+	Attrs    map[string]string
+	Children []*Node
+	Text     string
+}
+
+// ParseTree parses an XML document into a generic tree. Multiple root
+// elements are permitted (the result is a synthetic root holding them).
+func ParseTree(data []byte) (*Node, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	root := &Node{Name: ""}
+	stack := []*Node{root}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			return nil, fmt.Errorf("typeproj: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local, Attrs: make(map[string]string, len(t.Attr))}
+			for _, a := range t.Attr {
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, n)
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) > 1 {
+				stack = stack[:len(stack)-1]
+			}
+		case xml.CharData:
+			cur := stack[len(stack)-1]
+			cur.Text += string(t)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("typeproj: unbalanced document")
+	}
+	return root, nil
+}
+
+// Find returns all descendant elements named name, in document order.
+func (n *Node) Find(name string) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		for _, c := range cur.Children {
+			if c.Name == name {
+				out = append(out, c)
+			}
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// child returns the first direct child with the given name.
+func (n *Node) child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// children returns all direct children with the given name.
+func (n *Node) childrenNamed(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// binding describes how one struct field projects from an island.
+type binding struct {
+	fieldIndex int
+	name       string // element/attribute local name
+	attr       bool   // @name form
+	text       bool   // "text" form: the island's own chardata
+	required   bool
+	slice      bool
+	structType reflect.Type // non-nil when the target is a nested struct
+	elemType   reflect.Type // slice element type
+}
+
+// Projector binds islands named Island onto values of one struct type.
+type Projector struct {
+	// Island is the element name identifying islands of this type.
+	Island   string
+	typ      reflect.Type
+	bindings []binding
+}
+
+// NewProjector compiles a projector for the struct type of sample (a
+// struct or pointer to struct) binding islands named island.
+func NewProjector(island string, sample any) (*Projector, error) {
+	t := reflect.TypeOf(sample)
+	for t != nil && t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	if t == nil || t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("typeproj: sample must be a struct, got %T", sample)
+	}
+	p := &Projector{Island: island, typ: t}
+	if err := p.compile(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Projector) compile() error {
+	for i := 0; i < p.typ.NumField(); i++ {
+		f := p.typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := f.Tag.Get("proj")
+		if tag == "-" {
+			continue
+		}
+		b := binding{fieldIndex: i}
+		parts := strings.Split(tag, ",")
+		name := parts[0]
+		for _, opt := range parts[1:] {
+			if opt == "required" {
+				b.required = true
+			}
+		}
+		if name == "" {
+			name = strings.ToLower(f.Name)
+		}
+		switch {
+		case name == "text":
+			b.text = true
+		case strings.HasPrefix(name, "@"):
+			b.attr = true
+			b.name = name[1:]
+		default:
+			b.name = name
+		}
+		ft := f.Type
+		if ft.Kind() == reflect.Slice && ft.Elem().Kind() != reflect.Uint8 {
+			b.slice = true
+			b.elemType = ft.Elem()
+			if b.elemType.Kind() == reflect.Struct {
+				b.structType = b.elemType
+			}
+		} else if ft.Kind() == reflect.Struct {
+			b.structType = ft
+		}
+		if b.structType != nil && (b.attr || b.text) {
+			return fmt.Errorf("typeproj: field %s.%s: struct fields cannot bind attributes or text", p.typ.Name(), f.Name)
+		}
+		p.bindings = append(p.bindings, b)
+	}
+	return nil
+}
+
+// First searches data for the first island and binds it into v (pointer
+// to struct). It returns ErrNoIsland if none is found.
+func (p *Projector) First(data []byte, v any) error {
+	tree, err := ParseTree(data)
+	if err != nil {
+		return err
+	}
+	return p.FirstNode(tree, v)
+}
+
+// ErrNoIsland reports that no matching island exists in the document.
+var ErrNoIsland = fmt.Errorf("typeproj: no matching island")
+
+// FirstNode is First over an already-parsed tree.
+func (p *Projector) FirstNode(tree *Node, v any) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Ptr || rv.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("typeproj: target must be *struct, got %T", v)
+	}
+	if rv.Elem().Type() != p.typ {
+		return fmt.Errorf("typeproj: target type %v does not match projector type %v", rv.Elem().Type(), p.typ)
+	}
+	islands := tree.Find(p.Island)
+	if len(islands) == 0 {
+		return fmt.Errorf("%w: %q", ErrNoIsland, p.Island)
+	}
+	return p.bind(islands[0], rv.Elem())
+}
+
+// All binds every island in data, appending to the slice pointed to by
+// slicePtr (*[]T).
+func (p *Projector) All(data []byte, slicePtr any) error {
+	tree, err := ParseTree(data)
+	if err != nil {
+		return err
+	}
+	return p.AllNodes(tree, slicePtr)
+}
+
+// AllNodes is All over an already-parsed tree.
+func (p *Projector) AllNodes(tree *Node, slicePtr any) error {
+	rv := reflect.ValueOf(slicePtr)
+	if rv.Kind() != reflect.Ptr || rv.Elem().Kind() != reflect.Slice {
+		return fmt.Errorf("typeproj: target must be *[]T, got %T", slicePtr)
+	}
+	sl := rv.Elem()
+	if sl.Type().Elem() != p.typ {
+		return fmt.Errorf("typeproj: slice element %v does not match projector type %v", sl.Type().Elem(), p.typ)
+	}
+	for _, island := range tree.Find(p.Island) {
+		item := reflect.New(p.typ).Elem()
+		if err := p.bind(island, item); err != nil {
+			return err
+		}
+		sl = reflect.Append(sl, item)
+	}
+	rv.Elem().Set(sl)
+	return nil
+}
+
+func (p *Projector) bind(island *Node, dst reflect.Value) error {
+	for _, b := range p.bindings {
+		field := dst.Field(b.fieldIndex)
+		switch {
+		case b.text:
+			if err := setScalar(field, strings.TrimSpace(island.Text)); err != nil {
+				return fmt.Errorf("typeproj: field %s: %w", p.typ.Field(b.fieldIndex).Name, err)
+			}
+		case b.attr:
+			val, ok := island.Attrs[b.name]
+			if !ok {
+				if b.required {
+					return fmt.Errorf("typeproj: island %q missing required attribute %q", p.Island, b.name)
+				}
+				continue
+			}
+			if err := setScalar(field, val); err != nil {
+				return fmt.Errorf("typeproj: field %s: %w", p.typ.Field(b.fieldIndex).Name, err)
+			}
+		case b.slice:
+			kids := island.childrenNamed(b.name)
+			if len(kids) == 0 && b.required {
+				return fmt.Errorf("typeproj: island %q missing required element %q", p.Island, b.name)
+			}
+			out := reflect.MakeSlice(dst.Field(b.fieldIndex).Type(), 0, len(kids))
+			for _, kid := range kids {
+				item := reflect.New(b.elemType).Elem()
+				if b.structType != nil {
+					sub := &Projector{Island: kid.Name, typ: b.structType}
+					if err := sub.compile(); err != nil {
+						return err
+					}
+					if err := sub.bind(kid, item); err != nil {
+						return err
+					}
+				} else if err := setScalar(item, strings.TrimSpace(kid.Text)); err != nil {
+					return fmt.Errorf("typeproj: field %s: %w", p.typ.Field(b.fieldIndex).Name, err)
+				}
+				out = reflect.Append(out, item)
+			}
+			field.Set(out)
+		case b.structType != nil:
+			kid := island.child(b.name)
+			if kid == nil {
+				if b.required {
+					return fmt.Errorf("typeproj: island %q missing required element %q", p.Island, b.name)
+				}
+				continue
+			}
+			sub := &Projector{Island: kid.Name, typ: b.structType}
+			if err := sub.compile(); err != nil {
+				return err
+			}
+			if err := sub.bind(kid, field); err != nil {
+				return err
+			}
+		default:
+			kid := island.child(b.name)
+			if kid == nil {
+				if b.required {
+					return fmt.Errorf("typeproj: island %q missing required element %q", p.Island, b.name)
+				}
+				continue
+			}
+			if err := setScalar(field, strings.TrimSpace(kid.Text)); err != nil {
+				return fmt.Errorf("typeproj: field %s: %w", p.typ.Field(b.fieldIndex).Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func setScalar(field reflect.Value, text string) error {
+	switch field.Kind() {
+	case reflect.String:
+		field.SetString(text)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("parse int %q: %w", text, err)
+		}
+		field.SetInt(i)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		u, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("parse uint %q: %w", text, err)
+		}
+		field.SetUint(u)
+	case reflect.Float32, reflect.Float64:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("parse float %q: %w", text, err)
+		}
+		field.SetFloat(f)
+	case reflect.Bool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return fmt.Errorf("parse bool %q: %w", text, err)
+		}
+		field.SetBool(b)
+	case reflect.Slice:
+		if field.Type().Elem().Kind() == reflect.Uint8 {
+			field.SetBytes([]byte(text))
+			return nil
+		}
+		return fmt.Errorf("unsupported slice kind %v", field.Type())
+	default:
+		return fmt.Errorf("unsupported field kind %v", field.Kind())
+	}
+	return nil
+}
+
+// Project is a convenience one-shot: find the first island named island in
+// data and bind it into v.
+func Project(data []byte, island string, v any) error {
+	p, err := NewProjector(island, v)
+	if err != nil {
+		return err
+	}
+	return p.First(data, v)
+}
+
+// ProjectAll binds every island named island into *[]T slicePtr.
+func ProjectAll(data []byte, island string, slicePtr any) error {
+	rv := reflect.TypeOf(slicePtr)
+	if rv == nil || rv.Kind() != reflect.Ptr || rv.Elem().Kind() != reflect.Slice {
+		return fmt.Errorf("typeproj: target must be *[]T, got %T", slicePtr)
+	}
+	p, err := NewProjector(island, reflect.New(rv.Elem().Elem()).Interface())
+	if err != nil {
+		return err
+	}
+	return p.All(data, slicePtr)
+}

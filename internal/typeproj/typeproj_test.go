@@ -1,0 +1,235 @@
+package typeproj
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Test fixtures model the paper's GIS-style data: a loosely structured
+// document containing well-known place islands.
+const gisDoc = `
+<gis version="3" xmlns:junk="urn:x">
+  <metadata><provider>ordnance</provider><unknown-stuff depth="2"/></metadata>
+  <region name="fife">
+    <place name="janettas" kind="shop">
+      <lat>56.3402</lat>
+      <lon>-2.7930</lon>
+      <open from="9" to="17"/>
+      <sells>ice cream</sells>
+      <sells>coffee</sells>
+      Market Street
+    </place>
+    <noise><blob>xyz</blob></noise>
+    <place name="castle" kind="ruin">
+      <lat>56.3417</lat>
+      <lon>-2.7905</lon>
+      <extra-unmodelled><deep><deeper/></deep></extra-unmodelled>
+    </place>
+  </region>
+</gis>`
+
+type span struct {
+	From int `proj:"@from"`
+	To   int `proj:"@to"`
+}
+
+type place struct {
+	Name   string   `proj:"@name"`
+	Kind   string   `proj:"@kind"`
+	Lat    float64  `proj:"lat"`
+	Lon    float64  `proj:"lon"`
+	Sells  []string `proj:"sells"`
+	Open   []span   `proj:"open"`
+	Street string   `proj:"text"`
+}
+
+func TestProjectFirst(t *testing.T) {
+	var p place
+	if err := Project([]byte(gisDoc), "place", &p); err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.Name != "janettas" || p.Kind != "shop" {
+		t.Fatalf("attrs: %+v", p)
+	}
+	if p.Lat != 56.3402 || p.Lon != -2.7930 {
+		t.Fatalf("coords: %+v", p)
+	}
+	if len(p.Sells) != 2 || p.Sells[0] != "ice cream" || p.Sells[1] != "coffee" {
+		t.Fatalf("sells: %v", p.Sells)
+	}
+	if len(p.Open) != 1 || p.Open[0].From != 9 || p.Open[0].To != 17 {
+		t.Fatalf("open: %v", p.Open)
+	}
+	if !strings.Contains(p.Street, "Market Street") {
+		t.Fatalf("text binding: %q", p.Street)
+	}
+}
+
+func TestProjectAll(t *testing.T) {
+	var all []place
+	if err := ProjectAll([]byte(gisDoc), "place", &all); err != nil {
+		t.Fatalf("ProjectAll: %v", err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("islands = %d, want 2", len(all))
+	}
+	if all[1].Name != "castle" || all[1].Lat != 56.3417 {
+		t.Fatalf("second island: %+v", all[1])
+	}
+	// Partial model: castle has no <sells> or <open>; zero values remain.
+	if len(all[1].Sells) != 0 || len(all[1].Open) != 0 {
+		t.Fatalf("missing optional fields should stay zero: %+v", all[1])
+	}
+}
+
+func TestNoIsland(t *testing.T) {
+	var p place
+	err := Project([]byte("<doc><other/></doc>"), "place", &p)
+	if !errors.Is(err, ErrNoIsland) {
+		t.Fatalf("err = %v, want ErrNoIsland", err)
+	}
+}
+
+type strictPlace struct {
+	Name  string `proj:"@name,required"`
+	Phone string `proj:"phone,required"`
+}
+
+func TestRequiredMissing(t *testing.T) {
+	var sp strictPlace
+	err := Project([]byte(gisDoc), "place", &sp)
+	if err == nil || !strings.Contains(err.Error(), "phone") {
+		t.Fatalf("err = %v, want missing-required-element error", err)
+	}
+}
+
+type defaulted struct {
+	Lat float64 // no tag: binds child element "lat"
+}
+
+func TestUntaggedFieldDefaultsToLowercaseName(t *testing.T) {
+	var d defaulted
+	if err := Project([]byte(gisDoc), "place", &d); err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if d.Lat != 56.3402 {
+		t.Fatalf("Lat = %v", d.Lat)
+	}
+}
+
+type nested struct {
+	Inner span `proj:"open"`
+}
+
+func TestNestedStruct(t *testing.T) {
+	var n nested
+	if err := Project([]byte(gisDoc), "place", &n); err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if n.Inner.From != 9 || n.Inner.To != 17 {
+		t.Fatalf("nested: %+v", n.Inner)
+	}
+}
+
+func TestMalformedXML(t *testing.T) {
+	var p place
+	if err := Project([]byte("<a><b></a>"), "place", &p); err == nil {
+		t.Fatalf("want parse error")
+	}
+}
+
+func TestBadScalar(t *testing.T) {
+	var p place
+	doc := `<place name="x"><lat>not-a-number</lat></place>`
+	if err := Project([]byte(doc), "place", &p); err == nil {
+		t.Fatalf("want scalar conversion error")
+	}
+}
+
+func TestProjectorReuse(t *testing.T) {
+	proj, err := NewProjector("place", place{})
+	if err != nil {
+		t.Fatalf("NewProjector: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		var p place
+		if err := proj.First([]byte(gisDoc), &p); err != nil {
+			t.Fatalf("First #%d: %v", i, err)
+		}
+		if p.Name != "janettas" {
+			t.Fatalf("First #%d: %+v", i, p)
+		}
+	}
+}
+
+func TestProjectorTypeMismatch(t *testing.T) {
+	proj, err := NewProjector("place", place{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong span
+	if err := proj.First([]byte(gisDoc), &wrong); err == nil {
+		t.Fatalf("want type mismatch error")
+	}
+}
+
+func TestIslandsAtAnyDepth(t *testing.T) {
+	deep := `<a><b><c><d><place name="deep"><lat>1</lat><lon>2</lon></place></d></c></b></a>`
+	var p place
+	if err := Project([]byte(deep), "place", &p); err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.Name != "deep" {
+		t.Fatalf("deep island: %+v", p)
+	}
+}
+
+func TestMultipleRoots(t *testing.T) {
+	doc := `<place name="a"><lat>1</lat></place><place name="b"><lat>2</lat></place>`
+	var all []place
+	if err := ProjectAll([]byte(doc), "place", &all); err != nil {
+		t.Fatalf("ProjectAll: %v", err)
+	}
+	if len(all) != 2 || all[0].Name != "a" || all[1].Name != "b" {
+		t.Fatalf("roots: %+v", all)
+	}
+}
+
+func TestParseTreeStructure(t *testing.T) {
+	tree, err := ParseTree([]byte(`<a x="1"><b>hi</b><b>yo</b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Children) != 1 {
+		t.Fatalf("roots: %d", len(tree.Children))
+	}
+	a := tree.Children[0]
+	if a.Name != "a" || a.Attrs["x"] != "1" || len(a.Children) != 2 {
+		t.Fatalf("a: %+v", a)
+	}
+	if a.Children[0].Text != "hi" || a.Children[1].Text != "yo" {
+		t.Fatalf("children text: %+v", a.Children)
+	}
+}
+
+func TestScalarKinds(t *testing.T) {
+	type kinds struct {
+		S  string  `proj:"s"`
+		I  int     `proj:"i"`
+		U  uint    `proj:"u"`
+		F  float32 `proj:"f"`
+		B  bool    `proj:"b"`
+		By []byte  `proj:"by"`
+	}
+	doc := `<k><s>str</s><i>-5</i><u>7</u><f>1.5</f><b>true</b><by>raw</by></k>`
+	var k kinds
+	if err := Project([]byte(doc), "k", &k); err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	want := fmt.Sprintf("%+v", kinds{S: "str", I: -5, U: 7, F: 1.5, B: true, By: []byte("raw")})
+	if got := fmt.Sprintf("%+v", k); got != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}

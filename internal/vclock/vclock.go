@@ -1,0 +1,189 @@
+// Package vclock provides the virtual clock and discrete-event scheduler
+// that drive the simulated world. All protocol code in this repository is
+// written against the Clock interface, so the same code runs either under
+// the deterministic simulator (Scheduler) or against wall-clock time
+// (Real, in internal/transport).
+package vclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock supplies time and timer scheduling to protocol code.
+//
+// Implementations must execute callbacks serially with respect to the
+// component that scheduled them; under the simulator the entire world is
+// serialised, which makes protocol code lock-free and deterministic.
+type Clock interface {
+	// Now returns the current virtual (or wall) time measured from an
+	// arbitrary epoch.
+	Now() time.Duration
+	// After schedules fn to run once, d from now. It returns a Timer
+	// that can cancel the callback before it fires.
+	After(d time.Duration, fn func()) Timer
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the callback was
+	// prevented from running (false if it already ran or was stopped).
+	Stop() bool
+}
+
+// item is a scheduled event in the simulator's priority queue.
+type item struct {
+	at      time.Duration
+	seq     uint64 // FIFO tiebreak for equal times: determinism
+	fn      func()
+	stopped bool
+	index   int
+}
+
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe
+// for concurrent use: the entire simulated world runs on one goroutine.
+type Scheduler struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	steps uint64
+}
+
+// NewScheduler returns a scheduler positioned at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+var _ Clock = (*Scheduler)(nil)
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// After schedules fn at now+d. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	it := &item{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return (*schedTimer)(it)
+}
+
+type schedTimer item
+
+func (t *schedTimer) Stop() bool {
+	if t.stopped || t.fn == nil {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Pending returns the number of scheduled, unstopped events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, it := range s.queue {
+		if !it.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// Steps returns the number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// step executes the earliest event. It reports false when the queue is empty.
+func (s *Scheduler) step() bool {
+	for s.queue.Len() > 0 {
+		it := heap.Pop(&s.queue).(*item)
+		if it.stopped {
+			continue
+		}
+		s.now = it.at
+		fn := it.fn
+		it.fn = nil
+		s.steps++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until virtual time would exceed t or
+// no events remain. The clock is left at min(t, time of last event run)
+// — advanced to t if the queue drains earlier.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for s.queue.Len() > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the clock by d, executing all events due in the window.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Drain executes events until none remain or maxSteps events have run.
+// It reports whether the queue was fully drained. Protocols with
+// periodic timers never drain; use RunUntil for those worlds.
+func (s *Scheduler) Drain(maxSteps uint64) bool {
+	for i := uint64(0); i < maxSteps; i++ {
+		if !s.step() {
+			return true
+		}
+	}
+	return s.queue.Len() == 0
+}
+
+func (s *Scheduler) peek() *item {
+	for s.queue.Len() > 0 {
+		it := s.queue[0]
+		if !it.stopped {
+			return it
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrderAndTime(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.RunUntil(time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s (advanced to horizon)", s.Now())
+	}
+}
+
+func TestFIFOTiebreak(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.RunFor(time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var fired []time.Duration
+	s.After(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.After(time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.RunUntil(time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("want 2 events, got %d", len(fired))
+	}
+	if fired[0] != time.Millisecond || fired[1] != 2*time.Millisecond {
+		t.Fatalf("fire times = %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	tm := s.After(time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatalf("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatalf("second Stop should report false")
+	}
+	s.RunFor(time.Second)
+	if ran {
+		t.Fatalf("stopped timer still ran")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.After(2*time.Second, func() { ran = true })
+	s.RunUntil(time.Second)
+	if ran {
+		t.Fatalf("event beyond horizon ran")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", s.Now())
+	}
+	s.RunUntil(3 * time.Second)
+	if !ran {
+		t.Fatalf("event within extended horizon did not run")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count < 5 {
+			s.After(time.Millisecond, reschedule)
+		}
+	}
+	s.After(0, reschedule)
+	if !s.Drain(100) {
+		t.Fatalf("Drain did not finish a finite chain")
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	// Infinite chain hits the step bound.
+	var forever func()
+	forever = func() { s.After(time.Millisecond, forever) }
+	s.After(0, forever)
+	if s.Drain(50) {
+		t.Fatalf("Drain of infinite chain should report false")
+	}
+}
+
+func TestNegativeDelay(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.RunFor(0)
+	if !ran {
+		t.Fatalf("negative delay should run immediately")
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := NewScheduler()
+	t1 := s.After(time.Millisecond, func() {})
+	s.After(time.Millisecond, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	t1.Stop()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after stop = %d, want 1", got)
+	}
+}

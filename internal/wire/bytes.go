@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+)
+
+// Bytes is a binary payload that XML-encodes as base64 character data.
+// encoding/xml would otherwise emit raw bytes and corrupt non-UTF-8 data.
+type Bytes []byte
+
+var (
+	_ xml.Marshaler   = Bytes(nil)
+	_ xml.Unmarshaler = (*Bytes)(nil)
+)
+
+// MarshalXML implements xml.Marshaler.
+func (b Bytes) MarshalXML(e *xml.Encoder, start xml.StartElement) error {
+	s := base64.StdEncoding.EncodeToString(b)
+	return e.EncodeElement(s, start)
+}
+
+// UnmarshalXML implements xml.Unmarshaler.
+func (b *Bytes) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	var s string
+	if err := d.DecodeElement(&s, &start); err != nil {
+		return err
+	}
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("wire: bad base64 payload: %w", err)
+	}
+	*b = raw
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package wire defines the message envelope and XML codec shared by the
+// simulated network (for byte accounting) and the real TCP transport.
+//
+// Per the paper (§4.7), all inter-node traffic uses "standardised and open
+// interfaces and data formats wherever possible — thus XML-encoded events,
+// web service interfaces for pushing events and new code bundles". Every
+// protocol message in this repository is XML-serialisable and registered
+// with a Registry under a unique kind string.
+package wire
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"github.com/gloss/active/internal/ids"
+)
+
+// Message is a protocol message. Kind returns the globally unique message
+// type name, e.g. "plaxton.join" or "pipeline.put". The concrete type must
+// be XML-marshalable.
+type Message interface {
+	Kind() string
+}
+
+// Envelope carries one message between two nodes.
+type Envelope struct {
+	From    ids.ID
+	To      ids.ID
+	CorrID  uint64 // request/response correlation; 0 for one-way sends
+	IsReply bool
+	Err     string // transported error for failed requests ("" = ok)
+	Msg     Message
+}
+
+// Registry maps message kinds to concrete Go types for decoding.
+// The zero value is not usable; construct with NewRegistry. Register all
+// message types before concurrent use; lookups are read-only afterwards.
+type Registry struct {
+	types map[string]reflect.Type
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{types: make(map[string]reflect.Type)}
+}
+
+// Register records the concrete type of prototype under its Kind.
+// It panics on duplicate kinds with differing types — that is a
+// programming error caught at wiring time.
+func (r *Registry) Register(prototype Message) {
+	kind := prototype.Kind()
+	t := reflect.TypeOf(prototype)
+	if t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	if prev, ok := r.types[kind]; ok {
+		if prev != t {
+			panic(fmt.Sprintf("wire: kind %q registered twice with different types (%v, %v)", kind, prev, t))
+		}
+		return
+	}
+	r.types[kind] = t
+}
+
+// Kinds returns all registered kinds, sorted.
+func (r *Registry) Kinds() []string {
+	out := make([]string, 0, len(r.types))
+	for k := range r.types {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New instantiates a fresh message value for kind.
+func (r *Registry) New(kind string) (Message, error) {
+	t, ok := r.types[kind]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message kind %q", kind)
+	}
+	v := reflect.New(t).Interface()
+	m, ok := v.(Message)
+	if !ok {
+		// Value receiver Kind: the pointer still satisfies Message in
+		// all our message types; this is defensive.
+		return nil, fmt.Errorf("wire: kind %q type %v does not implement Message", kind, t)
+	}
+	return m, nil
+}
+
+// xmlEnvelope is the on-the-wire form of an Envelope.
+type xmlEnvelope struct {
+	XMLName xml.Name `xml:"env"`
+	From    string   `xml:"from,attr"`
+	To      string   `xml:"to,attr"`
+	Kind    string   `xml:"kind,attr"`
+	CorrID  uint64   `xml:"corr,attr,omitempty"`
+	IsReply bool     `xml:"reply,attr,omitempty"`
+	Err     string   `xml:"err,attr,omitempty"`
+	Body    []byte   `xml:",innerxml"`
+}
+
+// Encode serialises an envelope to XML bytes.
+func (r *Registry) Encode(env *Envelope) ([]byte, error) {
+	var body []byte
+	var kind string
+	if env.Msg != nil {
+		kind = env.Msg.Kind()
+		b, err := xml.Marshal(env.Msg)
+		if err != nil {
+			return nil, fmt.Errorf("wire: encode %q: %w", kind, err)
+		}
+		body = b
+	}
+	xe := xmlEnvelope{
+		From:    env.From.String(),
+		To:      env.To.String(),
+		Kind:    kind,
+		CorrID:  env.CorrID,
+		IsReply: env.IsReply,
+		Err:     env.Err,
+		Body:    body,
+	}
+	var buf bytes.Buffer
+	if err := xml.NewEncoder(&buf).Encode(xe); err != nil {
+		return nil, fmt.Errorf("wire: encode envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses XML bytes produced by Encode.
+func (r *Registry) Decode(data []byte) (*Envelope, error) {
+	var xe xmlEnvelope
+	if err := xml.Unmarshal(data, &xe); err != nil {
+		return nil, fmt.Errorf("wire: decode envelope: %w", err)
+	}
+	from, err := ids.Parse(xe.From)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decode from: %w", err)
+	}
+	to, err := ids.Parse(xe.To)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decode to: %w", err)
+	}
+	env := &Envelope{From: from, To: to, CorrID: xe.CorrID, IsReply: xe.IsReply, Err: xe.Err}
+	if xe.Kind != "" {
+		msg, err := r.New(xe.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if err := xml.Unmarshal(xe.Body, msg); err != nil {
+			return nil, fmt.Errorf("wire: decode body of %q: %w", xe.Kind, err)
+		}
+		env.Msg = msg
+	}
+	return env, nil
+}
+
+// Size returns the encoded size of env in bytes (for bandwidth accounting).
+func (r *Registry) Size(env *Envelope) (int, error) {
+	b, err := r.Encode(env)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
