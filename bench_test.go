@@ -7,6 +7,7 @@ package active
 // via b.ReportMetric; run cmd/benchtab for the full tables.
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -14,9 +15,12 @@ import (
 
 	"github.com/gloss/active/internal/event"
 	"github.com/gloss/active/internal/exp"
+	"github.com/gloss/active/internal/ids"
 	"github.com/gloss/active/internal/knowledge"
 	"github.com/gloss/active/internal/match"
+	"github.com/gloss/active/internal/netapi"
 	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/simnet"
 	"github.com/gloss/active/internal/vclock"
 )
 
@@ -123,6 +127,46 @@ func BenchmarkE_T10_Discovery(b *testing.B) {
 }
 
 // --- micro-benchmarks of hot paths ------------------------------------------
+
+// BenchmarkBrokerPublishWorld measures the full per-publish path through
+// the simulated network — client → broker chain → matched subscribers —
+// with the counting predicate index doing the matching at every hop.
+// (internal/pubsub's BenchmarkBrokerPublish isolates matching cost alone,
+// index vs preserved linear scan.)
+func BenchmarkBrokerPublishWorld(b *testing.B) {
+	w := simnet.NewWorld(simnet.Config{Seed: 7})
+	var brokers []*pubsub.Broker
+	for i := 0; i < 4; i++ {
+		n := w.NewNode(ids.FromString(fmt.Sprintf("bb-%d", i)), "eu",
+			netapi.Coord{X: float64(i) * 100})
+		brokers = append(brokers, pubsub.NewBroker(n, pubsub.Options{}))
+		if i > 0 {
+			pubsub.ConnectBrokers(brokers[i-1], brokers[i])
+		}
+	}
+	delivered := 0
+	for i := 0; i < 100; i++ {
+		n := w.NewNode(ids.FromString(fmt.Sprintf("bb-sub-%d", i)), "eu",
+			netapi.Coord{X: float64(i % 4 * 100)})
+		c := pubsub.NewClient(n, brokers[i%4].ID())
+		c.Subscribe(pubsub.NewFilter(pubsub.TypeIs("gps.location"),
+			pubsub.Eq("user", event.S(fmt.Sprintf("user-%02d", i)))),
+			func(*event.Event) { delivered++ })
+	}
+	pn := w.NewNode(ids.FromString("bb-pub"), "eu", netapi.Coord{})
+	pub := pubsub.NewClient(pn, brokers[0].ID())
+	w.RunFor(30 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pub.Publish(event.New("gps.location", "gps", w.Now()).
+			Set("user", event.S(fmt.Sprintf("user-%02d", i%100))).
+			Stamp(uint64(i)))
+		w.RunFor(time.Second)
+	}
+	if delivered == 0 {
+		b.Fatal("no deliveries")
+	}
+}
 
 func BenchmarkFilterMatch(b *testing.B) {
 	f := NewFilter(TypeIs("gps.location"), Eq("user", S("bob")), Gt("x", F(5)))

@@ -1,0 +1,3 @@
+module github.com/gloss/active
+
+go 1.24

@@ -133,8 +133,13 @@ func TestT4PubSubScaling(t *testing.T) {
 	if fwdOn >= fwdOff {
 		t.Fatalf("covering did not reduce forwarded subs: %v vs %v", fwdOn, fwdOff)
 	}
-	if tab.Rows[0][6] != tab.Rows[1][6] {
-		t.Fatalf("covering changed deliveries: %v vs %v", tab.Rows[0][6], tab.Rows[1][6])
+	if tab.Rows[0][7] != tab.Rows[1][7] {
+		t.Fatalf("covering changed deliveries: %v vs %v", tab.Rows[0][7], tab.Rows[1][7])
+	}
+	// The predicate index must actually be populated at every broker
+	// that holds table entries.
+	if cellFloat(t, tab.Rows[0][5]) <= 0 {
+		t.Fatalf("predicate index empty despite %v table entries", tab.Rows[0][3])
 	}
 }
 

@@ -21,6 +21,13 @@ type Options struct {
 	// ProxyBufferLimit bounds the number of events buffered for a
 	// detached mobile client. Default 1024.
 	ProxyBufferLimit int
+	// DisableIndex routes event matching through the preserved
+	// linear scan of the subscription table instead of the counting
+	// predicate index. The scan is the reference implementation for the
+	// differential tests and the BenchmarkBrokerPublish baseline; the
+	// index is maintained either way, so flipping this never changes
+	// observable behaviour, only the per-publish cost.
+	DisableIndex bool
 }
 
 func (o *Options) applyDefaults() {
@@ -51,6 +58,8 @@ type proxy struct {
 type Stats struct {
 	TableEntries   int // distinct filters in the subscription table
 	ForwardedSubs  int // filters currently forwarded to neighbours (total)
+	IndexAttrs     int // attributes with postings in the predicate index
+	IndexPostings  int // constraint postings in the predicate index
 	SubsReceived   uint64
 	PubsReceived   uint64
 	Matches        uint64 // events matched at this broker
@@ -66,6 +75,7 @@ type Broker struct {
 	nborOrder []ids.ID // sorted, for deterministic iteration
 	entries   map[string]*entry
 	entryKeys []string // sorted
+	index     *Index   // counting-algorithm view of entries
 	forwarded map[ids.ID]map[string]Filter
 	adverts   map[string]*advEntry
 	proxies   map[ids.ID]*proxy
@@ -80,6 +90,7 @@ func NewBroker(ep netapi.Endpoint, opts Options) *Broker {
 		opts:      opts,
 		neighbors: make(map[ids.ID]bool),
 		entries:   make(map[string]*entry),
+		index:     NewIndex(),
 		forwarded: make(map[ids.ID]map[string]Filter),
 		adverts:   make(map[string]*advEntry),
 		proxies:   make(map[ids.ID]*proxy),
@@ -133,8 +144,7 @@ func (b *Broker) RemoveNeighbor(id ids.ID) {
 		if ent.dirs[id] {
 			delete(ent.dirs, id)
 			if len(ent.dirs) == 0 {
-				delete(b.entries, key)
-				b.dropEntryKey(key)
+				b.dropEntry(key)
 			}
 		}
 	}
@@ -166,10 +176,29 @@ func ConnectBrokers(a, b *Broker) {
 func (b *Broker) Stats() Stats {
 	s := b.stats
 	s.TableEntries = len(b.entries)
+	s.IndexAttrs = len(b.index.attrs)
+	s.IndexPostings = b.index.Postings()
 	for _, m := range b.forwarded {
 		s.ForwardedSubs += len(m)
 	}
 	return s
+}
+
+// addEntry installs a new distinct filter in the subscription table and
+// the predicate index together; the two must never diverge.
+func (b *Broker) addEntry(key string, f Filter) *entry {
+	ent := &entry{filter: f, dirs: make(map[ids.ID]bool)}
+	b.entries[key] = ent
+	b.addEntryKey(key)
+	b.index.Add(key, f)
+	return ent
+}
+
+// dropEntry removes a distinct filter from the table and the index.
+func (b *Broker) dropEntry(key string) {
+	delete(b.entries, key)
+	b.dropEntryKey(key)
+	b.index.Remove(key)
 }
 
 func (b *Broker) addEntryKey(key string) {
@@ -212,9 +241,7 @@ func (b *Broker) subscribe(from ids.ID, f Filter) {
 	key := f.Key()
 	ent, ok := b.entries[key]
 	if !ok {
-		ent = &entry{filter: f, dirs: make(map[ids.ID]bool)}
-		b.entries[key] = ent
-		b.addEntryKey(key)
+		ent = b.addEntry(key, f)
 	}
 	ent.dirs[from] = true
 	for _, n := range b.nborOrder {
@@ -286,8 +313,7 @@ func (b *Broker) unsubscribe(from ids.ID, f Filter) {
 	}
 	delete(ent.dirs, from)
 	if len(ent.dirs) == 0 {
-		delete(b.entries, key)
-		b.dropEntryKey(key)
+		b.dropEntry(key)
 	}
 	b.reconcileAll()
 }
@@ -415,15 +441,18 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	ev := pub.Event
 	targets := make(map[ids.ID]bool)
 	matched := false
-	for _, ent := range b.entries {
-		if ent.filter.Matches(ev) {
-			matched = true
-			for d := range ent.dirs {
-				if d != from {
-					targets[d] = true
-				}
+	collect := func(ent *entry) {
+		matched = true
+		for d := range ent.dirs {
+			if d != from {
+				targets[d] = true
 			}
 		}
+	}
+	if b.opts.DisableIndex {
+		b.matchLinear(ev, collect)
+	} else {
+		b.index.Match(ev, func(key string) { collect(b.entries[key]) })
 	}
 	if matched {
 		b.stats.Matches++
@@ -449,6 +478,17 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 		}
 		b.stats.ClientDelivers++
 		b.ep.Send(d, &DeliverMsg{Event: ev})
+	}
+}
+
+// matchLinear is the original O(table) matching scan, preserved as the
+// reference implementation the counting index is differentially tested
+// and benchmarked against (Options.DisableIndex selects it).
+func (b *Broker) matchLinear(ev *event.Event, visit func(*entry)) {
+	for _, key := range b.entryKeys {
+		if ent := b.entries[key]; ent.filter.Matches(ev) {
+			visit(ent)
+		}
 	}
 }
 
@@ -488,8 +528,7 @@ func (b *Broker) handleReclaim(ctx netapi.Ctx, from ids.ID, _ wire.Message) {
 			delete(ent.dirs, from)
 			changed = true
 			if len(ent.dirs) == 0 {
-				delete(b.entries, key)
-				b.dropEntryKey(key)
+				b.dropEntry(key)
 			}
 		}
 	}

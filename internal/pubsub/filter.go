@@ -11,6 +11,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/gloss/active/internal/event"
@@ -156,11 +157,26 @@ func (f Filter) Matches(ev *event.Event) bool {
 }
 
 // Key returns a canonical string form usable as a map key; two filters
-// with the same constraints in any order share a key.
+// with the same constraints in any order share a key. Called on every
+// subscribe/unsubscribe and table reconciliation, so it avoids fmt.
 func (f Filter) Key() string {
+	if len(f.Constraints) == 0 {
+		return ""
+	}
 	parts := make([]string, len(f.Constraints))
+	var sb strings.Builder
 	for i, c := range f.Constraints {
-		parts[i] = fmt.Sprintf("%s|%s|%d|%s", c.Attr, c.Op, c.Val.K, c.Val.String())
+		sb.Reset()
+		val := c.Val.String()
+		sb.Grow(len(c.Attr) + len(val) + 16)
+		sb.WriteString(c.Attr)
+		sb.WriteByte('|')
+		sb.WriteString(c.Op.String())
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(int(c.Val.K)))
+		sb.WriteByte('|')
+		sb.WriteString(val)
+		parts[i] = sb.String()
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, "&")

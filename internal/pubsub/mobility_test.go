@@ -137,6 +137,111 @@ func TestProxyBufferOverflowDrops(t *testing.T) {
 	}
 }
 
+// TestProxyBufferFillDropAndOrderedReclaim pins down the proxy contract:
+// the buffer holds exactly ProxyBufferLimit events, every further match
+// is counted as dropped (not silently lost), and the reclaim replays the
+// retained prefix in publish order.
+func TestProxyBufferFillDropAndOrderedReclaim(t *testing.T) {
+	const limit = 4
+	const published = 7
+	tn := newChain(24, 2, Options{ProxyBufferLimit: limit})
+	mobile := tn.addClient(0)
+	pub := tn.addClient(1)
+	var got []int64
+	mobile.Subscribe(NewFilter(TypeIs("t")), func(e *event.Event) {
+		got = append(got, int64(e.GetNum("seq")))
+	})
+	tn.settle()
+	mobile.Detach()
+	tn.settle()
+	for seq := uint64(1); seq <= published; seq++ {
+		pub.Publish(event.New("t", "pub", tn.world.Now()).
+			Set("seq", event.I(int64(seq))).Stamp(seq))
+		tn.settle() // serialise arrivals so the buffer order is the publish order
+	}
+	// The proxy must be holding exactly the first `limit` events.
+	p := tn.brokers[0].proxies[mobile.ep.ID()]
+	if p == nil {
+		t.Fatal("no proxy installed at the old broker after Detach")
+	}
+	if len(p.buf) != limit {
+		t.Fatalf("proxy buffered %d events, want %d", len(p.buf), limit)
+	}
+	if p.dropped != published-limit {
+		t.Fatalf("proxy counted %d drops, want %d", p.dropped, published-limit)
+	}
+
+	dropped := -1
+	var rerr error
+	mobile.AttachTo(tn.brokers[1].ID(), 5*time.Second, func(d int, err error) {
+		dropped = d
+		rerr = err
+	})
+	tn.settle()
+	if rerr != nil {
+		t.Fatalf("reclaim error: %v", rerr)
+	}
+	if dropped != published-limit {
+		t.Fatalf("reclaim reported %d drops, want %d", dropped, published-limit)
+	}
+	// The retained prefix must be flushed in publish order.
+	if len(got) != limit {
+		t.Fatalf("replayed %d events, want %d: %v", len(got), limit, got)
+	}
+	for i, seq := range got {
+		if seq != int64(i+1) {
+			t.Fatalf("reclaim out of order: got %v, want 1..%d in order", got, limit)
+		}
+	}
+	// The proxy must be gone after the reclaim.
+	if _, still := tn.brokers[0].proxies[mobile.ep.ID()]; still {
+		t.Fatal("proxy not removed after reclaim")
+	}
+}
+
+// TestDetachIsIdempotent ensures a duplicate Detach (e.g. a retransmitted
+// detach message) does not clear an already-buffering proxy.
+func TestDetachIsIdempotent(t *testing.T) {
+	tn := newChain(25, 2, Options{})
+	mobile := tn.addClient(0)
+	pub := tn.addClient(1)
+	mobile.Subscribe(NewFilter(TypeIs("t")), func(*event.Event) {})
+	tn.settle()
+	mobile.Detach()
+	tn.settle()
+	pub.Publish(event.New("t", "pub", tn.world.Now()).Stamp(1))
+	tn.settle()
+	mobile.Detach() // duplicate
+	tn.settle()
+	p := tn.brokers[0].proxies[mobile.ep.ID()]
+	if p == nil || len(p.buf) != 1 {
+		t.Fatalf("duplicate detach clobbered the proxy buffer: %+v", p)
+	}
+}
+
+// TestReclaimWithoutProxy covers a client attaching without ever having
+// detached: the reclaim of a nonexistent proxy must answer cleanly with
+// zero events and zero drops rather than stalling the handoff.
+func TestReclaimWithoutProxy(t *testing.T) {
+	tn := newChain(26, 2, Options{})
+	mobile := tn.addClient(0)
+	mobile.Subscribe(NewFilter(TypeIs("t")), func(*event.Event) {})
+	tn.settle()
+	dropped := -1
+	var rerr error
+	mobile.AttachTo(tn.brokers[1].ID(), 5*time.Second, func(d int, err error) {
+		dropped = d
+		rerr = err
+	})
+	tn.settle()
+	if rerr != nil {
+		t.Fatalf("handoff error without proxy: %v", rerr)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+}
+
 func TestReattachToSameBroker(t *testing.T) {
 	tn := newChain(23, 2, Options{})
 	mobile := tn.addClient(0)
