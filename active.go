@@ -38,6 +38,15 @@ import (
 	"github.com/gloss/active/internal/match"
 	"github.com/gloss/active/internal/netapi"
 	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/wire"
+)
+
+// Wire codec names for WorldConfig.Codec and NodeConfig.Codec: XML is
+// the paper's open interop format and the default; binary is the
+// compact fast path for hot interior links (see README "Wire formats").
+const (
+	CodecXML    = wire.CodecXML
+	CodecBinary = wire.CodecBinary
 )
 
 // Core world types.

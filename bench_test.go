@@ -22,6 +22,7 @@ import (
 	"github.com/gloss/active/internal/pubsub"
 	"github.com/gloss/active/internal/simnet"
 	"github.com/gloss/active/internal/vclock"
+	"github.com/gloss/active/internal/wire"
 )
 
 // report parses a numeric table cell and reports it as a benchmark metric.
@@ -126,6 +127,14 @@ func BenchmarkE_T10_Discovery(b *testing.B) {
 	}
 }
 
+func BenchmarkE_T11_WireFormat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T11WireFormat(true)
+		report(b, tab, 0, 3, "bytes-ratio")
+		report(b, tab, 0, 6, "enc-speedup")
+	}
+}
+
 // --- micro-benchmarks of hot paths ------------------------------------------
 
 // BenchmarkBrokerPublishWorld measures the full per-publish path through
@@ -188,6 +197,92 @@ func BenchmarkFilterCovers(b *testing.B) {
 		if !pubsub.Covers(broad, narrow) {
 			b.Fatal("must cover")
 		}
+	}
+}
+
+// BenchmarkEnvelopeEncode measures both codecs on the E-T11 envelope
+// shapes: a pub/sub event publish at three payload sizes. The bytes/msg
+// metric is the encoded frame length — the quantity simnet's bandwidth
+// accounting and the transport both pay per message.
+func BenchmarkEnvelopeEncode(b *testing.B) {
+	reg := wire.NewRegistry()
+	pubsub.RegisterMessages(reg)
+	bin := wire.NewBinaryCodec(reg)
+	mkEvent := func(attrs, body int) *event.Event {
+		ev := NewEvent("weather.report", "thermo-eu", time.Second)
+		for i := 0; i < attrs; i++ {
+			switch i % 3 {
+			case 0:
+				ev.Set(fmt.Sprintf("s%02d", i), S(fmt.Sprintf("value-%d", i)))
+			case 1:
+				ev.Set(fmt.Sprintf("n%02d", i), I(int64(i)*1001))
+			default:
+				ev.Set(fmt.Sprintf("f%02d", i), F(float64(i)*3.25))
+			}
+		}
+		if body > 0 {
+			ev.SetBody("<payload>" + strings.Repeat("x", body) + "</payload>")
+		}
+		return ev.Stamp(1)
+	}
+	sizes := []struct {
+		name        string
+		attrs, body int
+	}{
+		{"small", 3, 0},
+		{"medium", 8, 0},
+		{"large", 24, 512},
+	}
+	for _, size := range sizes {
+		env := &wire.Envelope{
+			From: ids.FromString("bench-from"),
+			To:   ids.FromString("bench-to"),
+			Msg:  &pubsub.PubMsg{Event: mkEvent(size.attrs, size.body)},
+		}
+		for _, codec := range []wire.Codec{reg, bin} {
+			b.Run(size.name+"/"+codec.Name(), func(b *testing.B) {
+				frame, err := codec.Encode(env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(frame)), "bytes/msg")
+				b.SetBytes(int64(len(frame)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := codec.Encode(env); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEnvelopeDecode is the receive-side counterpart.
+func BenchmarkEnvelopeDecode(b *testing.B) {
+	reg := wire.NewRegistry()
+	pubsub.RegisterMessages(reg)
+	bin := wire.NewBinaryCodec(reg)
+	env := &wire.Envelope{
+		From: ids.FromString("bench-from"),
+		To:   ids.FromString("bench-to"),
+		Msg: &pubsub.PubMsg{Event: NewEvent("weather.report", "thermo-eu", time.Second).
+			Set("region", S("eu")).Set("tempC", F(20.5)).Set("n", I(7)).Stamp(1)},
+	}
+	for _, codec := range []wire.Codec{reg, bin} {
+		b.Run(codec.Name(), func(b *testing.B) {
+			frame, err := codec.Encode(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Decode(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

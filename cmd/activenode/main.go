@@ -44,9 +44,14 @@ func run() error {
 		y         = flag.Float64("y", 0, "y coordinate (km)")
 		bootstrap = flag.String("bootstrap", "", "bootstrap peer as <id-hex>@<host:port>; empty creates a new overlay")
 		secret    = flag.String("secret", "gloss-active-secret", "capability secret shared by the deployment")
+		codec     = flag.String("codec", wire.CodecXML, "preferred wire codec: xml (open interop format) or binary (compact fast path, used only between nodes that both opt in)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
+
+	if *codec != wire.CodecXML && *codec != wire.CodecBinary {
+		return fmt.Errorf("unknown -codec %q (want %q or %q)", *codec, wire.CodecXML, wire.CodecBinary)
+	}
 
 	logger := slog.New(slog.DiscardHandler)
 	if *verbose {
@@ -70,6 +75,7 @@ func run() error {
 		Region: *region,
 		Coord:  netapi.Coord{X: *x, Y: *y},
 		Seed:   time.Now().UnixNano(),
+		Codec:  *codec,
 		Logger: logger,
 	})
 	if err != nil {
@@ -80,12 +86,14 @@ func run() error {
 	node := core.NewActiveNode(ep, reg, core.NodeConfig{
 		Secret:         []byte(*secret),
 		AdvertInterval: -1, // advertising needs a broker mesh; single-node CLI keeps quiet
+		Codec:          *codec,
 	})
 	gateway.Serve(node)
 
 	fmt.Printf("node id:   %s\n", node.ID())
 	fmt.Printf("listening: %s\n", ep.Addr())
 	fmt.Printf("region:    %s\n", *region)
+	fmt.Printf("codec:     %s\n", *codec)
 
 	// Protocol state belongs to the node's actor loop; marshal the
 	// bootstrap calls onto it.

@@ -47,6 +47,7 @@ func main() {
 		{"E-T8", exp.T8TypeProjection},
 		{"E-T9", exp.T9MobilityHandoff},
 		{"E-T10", exp.T10Discovery},
+		{"E-T11", exp.T11WireFormat},
 	}
 	ran := 0
 	for _, r := range runners {

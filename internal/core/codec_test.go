@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/wire"
+)
+
+// bootBytes measures the simulated traffic of one world boot (overlay
+// joins, broker wiring, settle) under the given byte-accounting codec.
+// The workload is identical across codecs by determinism, so only the
+// accounting differs.
+func bootBytes(t *testing.T, codec string) uint64 {
+	t.Helper()
+	w, err := NewWorld(WorldConfig{
+		Seed:  5,
+		Nodes: 4,
+		Codec: codec,
+		Node:  NodeConfig{AdvertInterval: -1},
+	})
+	if err != nil {
+		t.Fatalf("NewWorld(codec=%q): %v", codec, err)
+	}
+	return w.Sim.Metrics().Bytes
+}
+
+func TestWorldCodecChoice(t *testing.T) {
+	// Default: no codec configured, no byte accounting.
+	w, err := NewWorld(WorldConfig{Seed: 5, Nodes: 4, Node: NodeConfig{AdvertInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(2 * time.Second)
+	if b := w.Sim.Metrics().Bytes; b != 0 {
+		t.Fatalf("default world accounted %d bytes without a codec", b)
+	}
+
+	xmlBytes := bootBytes(t, wire.CodecXML)
+	binBytes := bootBytes(t, wire.CodecBinary)
+	if xmlBytes == 0 || binBytes == 0 {
+		t.Fatalf("no bytes accounted: xml=%d bin=%d", xmlBytes, binBytes)
+	}
+	if binBytes*2 >= xmlBytes {
+		t.Fatalf("binary world traffic (%dB) should be well under half of XML (%dB)",
+			binBytes, xmlBytes)
+	}
+
+	if _, err := NewWorld(WorldConfig{Seed: 5, Nodes: 2, Codec: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown codec should be rejected")
+	}
+}
+
+// TestNodeCodecDefaultsWorldCodec: setting only NodeConfig.Codec flows
+// into the world's byte accounting via applyDefaults.
+func TestNodeCodecDefaultsWorldCodec(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		Seed:  5,
+		Nodes: 4,
+		Node:  NodeConfig{AdvertInterval: -1, Codec: wire.CodecBinary},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Sim.Metrics().Bytes == 0 {
+		t.Fatal("NodeConfig.Codec did not enable byte accounting")
+	}
+}

@@ -42,6 +42,14 @@ type NodeConfig struct {
 	// AdvertInterval is the resource-advertisement period. Default 2s;
 	// negative disables advertising.
 	AdvertInterval time.Duration
+	// Codec is the node's preferred wire codec: wire.CodecXML (default,
+	// the paper's open format) or wire.CodecBinary (compact fast path).
+	// In simulation it defaults WorldConfig.Codec, selecting the
+	// byte-accounting codec. Over TCP the endpoint is built before the
+	// node, so callers must ALSO set transport.Options.Codec (which
+	// validates the value and drives hello negotiation) — cmd/activenode
+	// wires its -codec flag into both.
+	Codec string
 	// EnableDiscovery routes unknown event types to the discovery
 	// matchlet (store lookup + dynamic install).
 	EnableDiscovery bool

@@ -44,6 +44,12 @@ type WorldConfig struct {
 	Node NodeConfig
 	// JoinSettle is the virtual time allowed per overlay join. Default 2s.
 	JoinSettle time.Duration
+	// Codec selects the wire codec used for the simulator's byte
+	// accounting: "" leaves Net.Codec as configured (default: no byte
+	// accounting, matching historical tables), wire.CodecXML installs the
+	// XML reference codec over the world's registry, wire.CodecBinary the
+	// compact fast path. Defaults to Node.Codec when that is set.
+	Codec string
 }
 
 func (c *WorldConfig) applyDefaults() {
@@ -59,6 +65,9 @@ func (c *WorldConfig) applyDefaults() {
 	c.Net.Seed = c.Seed
 	if c.Node.Secret == nil {
 		c.Node.Secret = []byte("gloss-active-secret")
+	}
+	if c.Codec == "" {
+		c.Codec = c.Node.Codec
 	}
 }
 
@@ -85,6 +94,19 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		Secret: cfg.Node.Secret,
 	}
 	RegisterMessages(w.Reg)
+	// The registry is complete now; install the chosen byte-accounting
+	// codec (the binary codec interns the registry's kind table, so it
+	// must be built after every RegisterMessages call).
+	switch cfg.Codec {
+	case "":
+		// Keep whatever cfg.Net.Codec the caller wired (usually nil).
+	case wire.CodecXML:
+		w.Sim.SetCodec(w.Reg)
+	case wire.CodecBinary:
+		w.Sim.SetCodec(wire.NewBinaryCodec(w.Reg))
+	default:
+		return nil, fmt.Errorf("core: unknown codec %q (want %q or %q)", cfg.Codec, wire.CodecXML, wire.CodecBinary)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	seed := make([]byte, ed25519.SeedSize)
 	rng.Read(seed)

@@ -130,5 +130,6 @@ func All(quick bool) []*Table {
 		T8TypeProjection(quick),
 		T9MobilityHandoff(quick),
 		T10Discovery(quick),
+		T11WireFormat(quick),
 	}
 }

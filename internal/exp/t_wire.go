@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gloss/active/internal/core"
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/plaxton"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/transport"
+	"github.com/gloss/active/internal/wire"
+)
+
+// T11WireFormat compares the two wire codecs — the paper's open XML
+// format (§4.7) and the compact binary fast path — on the hot message
+// shapes: event publishes of three sizes, a subscription filter, and a
+// routed overlay message. Reported per message: encoded bytes and
+// encode cost for each codec, plus the binary codec's advantage. The
+// differential test in internal/wire guarantees both decode
+// identically, so the advantage is free of behaviour change.
+func T11WireFormat(quick bool) *Table {
+	t := &Table{
+		ID:    "E-T11",
+		Title: "Wire formats: XML interop codec vs binary fast path",
+		Header: []string{"message", "xml B", "bin B", "B ratio",
+			"xml enc ns", "bin enc ns", "enc speedup"},
+	}
+	iters := 20000
+	if quick {
+		iters = 2000
+	}
+
+	reg := wire.NewRegistry()
+	core.RegisterMessages(reg)
+	transport.RegisterMessages(reg)
+	bin := wire.NewBinaryCodec(reg)
+
+	mkEvent := func(attrs int, body int, seq uint64) *event.Event {
+		ev := event.New("gps.location", "sensor-eu-7", 90*time.Second)
+		for i := 0; i < attrs; i++ {
+			switch i % 3 {
+			case 0:
+				ev.Set(fmt.Sprintf("s%02d", i), event.S(fmt.Sprintf("value-%d", i)))
+			case 1:
+				ev.Set(fmt.Sprintf("n%02d", i), event.I(int64(i)*1001))
+			default:
+				ev.Set(fmt.Sprintf("f%02d", i), event.F(float64(i)*3.25))
+			}
+		}
+		if body > 0 {
+			pad := make([]byte, body)
+			for i := range pad {
+				pad[i] = 'a' + byte(i%26)
+			}
+			ev.SetBody("<payload>" + string(pad) + "</payload>")
+		}
+		return ev.Stamp(seq)
+	}
+
+	from, to := ids.FromString("node-a"), ids.FromString("node-b")
+	filter := pubsub.NewFilter(
+		pubsub.TypeIs("gps.location"),
+		pubsub.Eq("user", event.S("user-42")),
+		pubsub.Gt("x", event.F(3.5)),
+		pubsub.Prefix("region", "eu-"),
+	)
+	innerFrame, err := bin.Encode(&wire.Envelope{
+		From: from, To: to, Msg: &pubsub.PubMsg{Event: mkEvent(3, 0, 9)},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	cases := []struct {
+		name string
+		msg  wire.Message
+	}{
+		{"pub event 3 attrs", &pubsub.PubMsg{Event: mkEvent(3, 0, 1)}},
+		{"pub event 8 attrs", &pubsub.PubMsg{Event: mkEvent(8, 0, 2)}},
+		{"pub event 24 attrs+body", &pubsub.PubMsg{Event: mkEvent(24, 512, 3)}},
+		{"subscribe 4-constraint", &pubsub.SubMsg{Filter: filter}},
+		{"route wrapped put", &plaxton.RouteMsg{
+			Key:       ids.FromString("object-key").String(),
+			Origin:    from.String(),
+			Hops:      3,
+			Path:      []string{from.String(), to.String()},
+			InnerKind: "pubsub.pub",
+			Inner:     innerFrame,
+		}},
+	}
+
+	encodeCost := func(c wire.Codec, env *wire.Envelope) (bytes int, nsOp float64) {
+		frame, err := c.Encode(env)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := c.Encode(env); err != nil {
+				panic(err)
+			}
+		}
+		return len(frame), float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+
+	for _, cse := range cases {
+		env := &wire.Envelope{From: from, To: to, Msg: cse.msg}
+		xmlB, xmlNs := encodeCost(reg, env)
+		binB, binNs := encodeCost(bin, env)
+		t.AddRow(cse.name,
+			fmt.Sprint(xmlB), fmt.Sprint(binB), f1(float64(xmlB)/float64(binB)),
+			fmt.Sprintf("%.0f", xmlNs), fmt.Sprintf("%.0f", binNs), f1(xmlNs/binNs),
+		)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d encode iterations per cell; full node registry (%d kinds) interned", iters, len(reg.Kinds())),
+		"XML stays the default and the differential-test reference; binary is opt-in per node (-codec binary)")
+	return t
+}

@@ -1,0 +1,129 @@
+package plaxton
+
+import (
+	"github.com/gloss/active/internal/wire"
+)
+
+// Compact binary wire forms for the overlay protocol. RouteMsg is the
+// hot one — every routed application message (store puts/gets, pushed
+// replicas) rides inside it — so its already-encoded Inner payload is
+// carried as raw length-prefixed bytes instead of base64 text.
+
+var (
+	_ wire.BinaryMessage = (*RouteMsg)(nil)
+	_ wire.BinaryMessage = (*JoinMsg)(nil)
+	_ wire.BinaryMessage = (*StateMsg)(nil)
+	_ wire.BinaryMessage = (*AnnounceMsg)(nil)
+	_ wire.BinaryMessage = (*PingMsg)(nil)
+	_ wire.BinaryMessage = (*PongMsg)(nil)
+	_ wire.BinaryMessage = (*LeafReqMsg)(nil)
+	_ wire.BinaryMessage = (*LeafReplyMsg)(nil)
+)
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = wire.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = wire.AppendString(b, s)
+	}
+	return b
+}
+
+func readStrings(r *wire.BinReader) []string {
+	n := r.Count()
+	var out []string
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, r.String())
+	}
+	return out
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *RouteMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.Key)
+	b = wire.AppendString(b, m.Origin)
+	b = wire.AppendVarint(b, int64(m.Hops))
+	b = wire.AppendBool(b, m.Trace)
+	b = appendStrings(b, m.Path)
+	b = wire.AppendString(b, m.InnerKind)
+	return wire.AppendBytes(b, m.Inner)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *RouteMsg) ParseWire(r *wire.BinReader) error {
+	m.Key = r.String()
+	m.Origin = r.String()
+	m.Hops = int(r.Varint())
+	m.Trace = r.Bool()
+	m.Path = readStrings(r)
+	m.InnerKind = r.String()
+	if raw := r.Bytes(); raw != nil {
+		// Copy: BinReader slices alias the frame, and routed payloads
+		// outlive it (they are re-encoded and forwarded hop by hop).
+		m.Inner = append(wire.Bytes(nil), raw...)
+	} else {
+		m.Inner = nil
+	}
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *JoinMsg) AppendWire(b []byte) []byte { return wire.AppendString(b, m.Joiner) }
+
+// ParseWire implements wire.BinaryMessage.
+func (m *JoinMsg) ParseWire(r *wire.BinReader) error {
+	m.Joiner = r.String()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *StateMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.From)
+	b = wire.AppendBool(b, m.Done)
+	b = appendStrings(b, m.Leaves)
+	return appendStrings(b, m.Table)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *StateMsg) ParseWire(r *wire.BinReader) error {
+	m.From = r.String()
+	m.Done = r.Bool()
+	m.Leaves = readStrings(r)
+	m.Table = readStrings(r)
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *AnnounceMsg) AppendWire(b []byte) []byte { return wire.AppendString(b, m.Node) }
+
+// ParseWire implements wire.BinaryMessage.
+func (m *AnnounceMsg) ParseWire(r *wire.BinReader) error {
+	m.Node = r.String()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *PingMsg) AppendWire(b []byte) []byte { return b }
+
+// ParseWire implements wire.BinaryMessage.
+func (m *PingMsg) ParseWire(r *wire.BinReader) error { return r.Err() }
+
+// AppendWire implements wire.BinaryMessage.
+func (m *PongMsg) AppendWire(b []byte) []byte { return b }
+
+// ParseWire implements wire.BinaryMessage.
+func (m *PongMsg) ParseWire(r *wire.BinReader) error { return r.Err() }
+
+// AppendWire implements wire.BinaryMessage.
+func (m *LeafReqMsg) AppendWire(b []byte) []byte { return b }
+
+// ParseWire implements wire.BinaryMessage.
+func (m *LeafReqMsg) ParseWire(r *wire.BinReader) error { return r.Err() }
+
+// AppendWire implements wire.BinaryMessage.
+func (m *LeafReplyMsg) AppendWire(b []byte) []byte { return appendStrings(b, m.Leaves) }
+
+// ParseWire implements wire.BinaryMessage.
+func (m *LeafReplyMsg) ParseWire(r *wire.BinReader) error {
+	m.Leaves = readStrings(r)
+	return r.Err()
+}

@@ -36,8 +36,15 @@ type Config struct {
 	// LossRate is the probability a message is silently dropped.
 	LossRate float64
 	// Codec, when non-nil, is used to account encoded message bytes in
-	// Metrics (slower; enable only when bandwidth matters).
-	Codec *wire.Registry
+	// Metrics (enable only when bandwidth matters). Any wire.Codec works:
+	// *wire.Registry accounts the open XML format, *wire.BinaryCodec the
+	// compact fast path. Registries must be fully populated before the
+	// first message is sent.
+	Codec wire.Codec
+	// DisableMetrics turns off all traffic accounting — counters, per-kind
+	// tallies and byte sizing — for hot benchmark runs where even map
+	// increments per message matter. Metrics then stays zero.
+	DisableMetrics bool
 }
 
 func (c *Config) applyDefaults() {
@@ -57,7 +64,7 @@ type Metrics struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64 // loss, dead destination, or filtered link
-	Bytes     uint64 // only counted when Config.Codec != nil
+	Bytes     uint64 // only counted when a codec is installed (Config.Codec or SetCodec)
 	ByKind    map[string]uint64
 	Unhandled uint64
 }
@@ -68,6 +75,7 @@ type LinkFilter func(from, to ids.ID) bool
 // World is the simulated network.
 type World struct {
 	cfg     Config
+	codec   wire.Codec // nil-normalised view of cfg.Codec
 	sched   *vclock.Scheduler
 	rng     *rand.Rand
 	nodes   map[ids.ID]*Node
@@ -81,6 +89,7 @@ func NewWorld(cfg Config) *World {
 	cfg.applyDefaults()
 	return &World{
 		cfg:   cfg,
+		codec: normalizeCodec(cfg.Codec),
 		sched: vclock.NewScheduler(),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: make(map[ids.ID]*Node),
@@ -88,6 +97,29 @@ func NewWorld(cfg Config) *World {
 			ByKind: make(map[string]uint64),
 		},
 	}
+}
+
+// SetCodec installs (or clears, with nil) the byte-accounting codec.
+// Useful when the registry is only fully populated after the world is
+// built — e.g. core.NewWorld registers its message types post-construction.
+func (w *World) SetCodec(c wire.Codec) { w.codec = normalizeCodec(c) }
+
+// normalizeCodec maps typed-nil codec values (a nil *wire.Registry stored
+// in the interface) to plain nil so the hot path needs one comparison.
+func normalizeCodec(c wire.Codec) wire.Codec {
+	switch v := c.(type) {
+	case nil:
+		return nil
+	case *wire.Registry:
+		if v == nil {
+			return nil
+		}
+	case *wire.BinaryCodec:
+		if v == nil {
+			return nil
+		}
+	}
+	return c
 }
 
 // Sched exposes the underlying scheduler.
@@ -238,30 +270,36 @@ func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb ne
 
 // transmit queues env for delivery after the modelled latency.
 func (w *World) transmit(from *Node, env *wire.Envelope) {
-	w.metrics.Sent++
-	if env.Msg != nil {
-		w.metrics.ByKind[env.Msg.Kind()]++
-	}
-	if w.cfg.Codec != nil && env.Msg != nil {
-		if sz, err := w.cfg.Codec.Size(env); err == nil {
-			w.metrics.Bytes += uint64(sz)
+	if !w.cfg.DisableMetrics {
+		w.metrics.Sent++
+		if env.Msg != nil {
+			w.metrics.ByKind[env.Msg.Kind()]++
+			// Byte accounting is skipped entirely without a codec; with
+			// one, Codec.Size is a single pass over the message (the
+			// binary codec counts through a pooled scratch buffer — no
+			// throwaway XML document).
+			if w.codec != nil {
+				if sz, err := w.codec.Size(env); err == nil {
+					w.metrics.Bytes += uint64(sz)
+				}
+			}
 		}
 	}
 	if !from.alive {
-		w.metrics.Dropped++
+		w.drop()
 		return
 	}
 	if w.filter != nil && !w.filter(env.From, env.To) {
-		w.metrics.Dropped++
+		w.drop()
 		return
 	}
 	if w.cfg.LossRate > 0 && w.rng.Float64() < w.cfg.LossRate {
-		w.metrics.Dropped++
+		w.drop()
 		return
 	}
 	dest, ok := w.nodes[env.To]
 	if !ok {
-		w.metrics.Dropped++
+		w.drop()
 		return
 	}
 	lat := w.latency(from.info.Coord, dest.info.Coord)
@@ -287,12 +325,21 @@ func (w *World) Latency(a, b ids.ID) time.Duration {
 	return w.cfg.BaseLatency + time.Duration(na.info.Coord.DistanceKm(nb.info.Coord)*float64(w.cfg.LatencyPerKm))
 }
 
+// drop counts a dropped message unless metrics are disabled.
+func (w *World) drop() {
+	if !w.cfg.DisableMetrics {
+		w.metrics.Dropped++
+	}
+}
+
 func (w *World) deliver(dest *Node, env *wire.Envelope) {
 	if !dest.alive {
-		w.metrics.Dropped++
+		w.drop()
 		return
 	}
-	w.metrics.Delivered++
+	if !w.cfg.DisableMetrics {
+		w.metrics.Delivered++
+	}
 	if env.IsReply {
 		p, ok := dest.pending[env.CorrID]
 		if !ok {
@@ -312,7 +359,9 @@ func (w *World) deliver(dest *Node, env *wire.Envelope) {
 	}
 	h, ok := dest.handlers[env.Msg.Kind()]
 	if !ok {
-		w.metrics.Unhandled++
+		if !w.cfg.DisableMetrics {
+			w.metrics.Unhandled++
+		}
 		return
 	}
 	h(&msgCtx{node: dest, env: env}, env.From, env.Msg)

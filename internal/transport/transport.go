@@ -39,13 +39,21 @@ const maxFrame = 16 << 20
 const outboxSize = 256
 
 // HelloMsg identifies the dialing node and gossips its address book.
+// Codecs lists the wire codecs the sender is willing to speak beyond the
+// default XML, and KindsHash fingerprints its registry: a receiver sends
+// binary frames back only when the sender advertised "binary" with a
+// matching hash, since the binary codec interns kind strings as indexes
+// into the sorted registry table. The hello itself always travels as XML
+// so negotiation needs no prior agreement.
 type HelloMsg struct {
-	ID     string      `xml:"id,attr"`
-	Addr   string      `xml:"addr,attr"`
-	Region string      `xml:"region,attr"`
-	X      float64     `xml:"x,attr"`
-	Y      float64     `xml:"y,attr"`
-	Known  []HelloPeer `xml:"peer"`
+	ID        string      `xml:"id,attr"`
+	Addr      string      `xml:"addr,attr"`
+	Region    string      `xml:"region,attr"`
+	X         float64     `xml:"x,attr"`
+	Y         float64     `xml:"y,attr"`
+	Codecs    []string    `xml:"codec,omitempty"`
+	KindsHash string      `xml:"kinds,attr,omitempty"`
+	Known     []HelloPeer `xml:"peer"`
 }
 
 // HelloPeer is one address-book entry.
@@ -71,6 +79,12 @@ type Options struct {
 	Seed int64
 	// DialTimeout bounds connection attempts. Default 3s.
 	DialTimeout time.Duration
+	// Codec is the preferred wire codec: wire.CodecXML (default) or
+	// wire.CodecBinary. A node preferring binary advertises it in its
+	// hello and uses it toward every peer that advertised it back with a
+	// matching registry hash; all other traffic stays XML, so mixed
+	// deployments interoperate frame by frame.
+	Codec string
 	// Logger receives diagnostics; nil discards.
 	Logger *slog.Logger
 }
@@ -89,11 +103,12 @@ func (o *Options) applyDefaults() {
 
 // Stats counts transport activity.
 type Stats struct {
-	Sent      uint64
-	Received  uint64
-	Dropped   uint64 // no address, queue overflow, encode failures
-	Dials     uint64
-	DialFails uint64
+	Sent       uint64
+	SentBinary uint64 // subset of Sent framed with the binary codec
+	Received   uint64
+	Dropped    uint64 // no address, queue overflow, encode failures
+	Dials      uint64
+	DialFails  uint64
 }
 
 type peerState int
@@ -110,6 +125,10 @@ type peer struct {
 	state peerState
 	out   chan []byte
 	conn  net.Conn
+	// binary records that the peer's hello advertised the binary codec
+	// with a matching kinds hash; frames to it may then use the fast path
+	// (if this node prefers binary too).
+	binary bool
 }
 
 type pendingReq struct {
@@ -119,13 +138,16 @@ type pendingReq struct {
 
 // Node is a TCP-backed netapi.Endpoint.
 type Node struct {
-	info  netapi.NodeInfo
-	reg   *wire.Registry
-	opts  Options
-	log   *slog.Logger
-	ln    net.Listener
-	start time.Time
-	rng   *rand.Rand
+	info      netapi.NodeInfo
+	reg       *wire.Registry
+	bin       *wire.BinaryCodec
+	kindsHash string
+	preferBin bool
+	opts      Options
+	log       *slog.Logger
+	ln        net.Listener
+	start     time.Time
+	rng       *rand.Rand
 
 	inbox    chan func()
 	closed   chan struct{}
@@ -142,26 +164,34 @@ type Node struct {
 
 var _ netapi.Endpoint = (*Node)(nil)
 
-// Listen starts a TCP node. Call Close to release its goroutines.
+// Listen starts a TCP node. Register every message type with reg before
+// calling — the binary fast-path codec interns the registry's kind table
+// at this point. Call Close to release the node's goroutines.
 func Listen(id ids.ID, reg *wire.Registry, opts Options) (*Node, error) {
 	opts.applyDefaults()
+	if opts.Codec != "" && opts.Codec != wire.CodecXML && opts.Codec != wire.CodecBinary {
+		return nil, fmt.Errorf("transport: unknown codec %q (want %q or %q)", opts.Codec, wire.CodecXML, wire.CodecBinary)
+	}
 	ln, err := net.Listen("tcp", opts.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", opts.Listen, err)
 	}
 	n := &Node{
-		info:     netapi.NodeInfo{ID: id, Region: opts.Region, Coord: opts.Coord},
-		reg:      reg,
-		opts:     opts,
-		log:      opts.Logger.With("node", id.Short()),
-		ln:       ln,
-		start:    time.Now(),
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		inbox:    make(chan func(), 1024),
-		closed:   make(chan struct{}),
-		handlers: make(map[string]netapi.Handler),
-		peers:    make(map[ids.ID]*peer),
-		pending:  make(map[uint64]*pendingReq),
+		info:      netapi.NodeInfo{ID: id, Region: opts.Region, Coord: opts.Coord},
+		reg:       reg,
+		bin:       wire.NewBinaryCodec(reg),
+		kindsHash: reg.KindsHash(),
+		preferBin: opts.Codec == wire.CodecBinary,
+		opts:      opts,
+		log:       opts.Logger.With("node", id.Short()),
+		ln:        ln,
+		start:     time.Now(),
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		inbox:     make(chan func(), 1024),
+		closed:    make(chan struct{}),
+		handlers:  make(map[string]netapi.Handler),
+		peers:     make(map[ids.ID]*peer),
+		pending:   make(map[uint64]*pendingReq),
 	}
 	n.wg.Add(2)
 	go n.actorLoop()
@@ -299,13 +329,19 @@ func (n *Node) transmit(env *wire.Envelope) {
 		n.dispatch(env)
 		return
 	}
-	frame, err := n.reg.Encode(env)
+	p := n.ensurePeer(env.To)
+	// Negotiated per peer: binary frames only toward peers whose hello
+	// advertised the binary codec with a matching kind table.
+	codec := wire.Codec(n.reg)
+	if n.preferBin && p.binary {
+		codec = n.bin
+	}
+	frame, err := codec.Encode(env)
 	if err != nil {
 		n.stats.Dropped++
 		n.log.Warn("encode failed", "err", err)
 		return
 	}
-	p := n.ensurePeer(env.To)
 	if p.addr == "" {
 		n.stats.Dropped++
 		n.log.Debug("no address for peer", "peer", env.To.Short())
@@ -314,6 +350,9 @@ func (n *Node) transmit(env *wire.Envelope) {
 	select {
 	case p.out <- frame:
 		n.stats.Sent++
+		if codec == n.bin {
+			n.stats.SentBinary++
+		}
 	default:
 		n.stats.Dropped++
 	}
@@ -391,6 +430,10 @@ func (n *Node) helloFrame() ([]byte, error) {
 		X:      n.info.Coord.X,
 		Y:      n.info.Coord.Y,
 	}
+	if n.preferBin {
+		hello.Codecs = []string{wire.CodecXML, wire.CodecBinary}
+		hello.KindsHash = n.kindsHash
+	}
 	for _, e := range book {
 		hello.Known = append(hello.Known, HelloPeer{ID: e.id.String(), Addr: e.addr})
 	}
@@ -454,7 +497,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		env, err := n.reg.Decode(frame)
+		env, err := n.decodeFrame(frame)
 		if err != nil {
 			n.log.Warn("bad frame", "err", err)
 			return
@@ -470,10 +513,28 @@ func (n *Node) readLoop(conn net.Conn) {
 	}
 }
 
-// mergeHello learns addresses from a peer's hello.
+// decodeFrame parses one frame, sniffing the codec from the leading
+// byte: binary frames start with wire.BinaryMagic, XML frames with '<'.
+// Both are accepted on every connection regardless of preference, so a
+// codec mismatch can never wedge a link mid-negotiation.
+func (n *Node) decodeFrame(frame []byte) (*wire.Envelope, error) {
+	if wire.IsBinaryFrame(frame) {
+		return n.bin.Decode(frame)
+	}
+	return n.reg.Decode(frame)
+}
+
+// mergeHello learns addresses and codec capabilities from a peer's hello.
 func (n *Node) mergeHello(h *HelloMsg) {
 	if id, err := ids.Parse(h.ID); err == nil && h.Addr != "" {
-		n.ensurePeer(id).addr = h.Addr
+		p := n.ensurePeer(id)
+		p.addr = h.Addr
+		p.binary = false
+		for _, c := range h.Codecs {
+			if c == wire.CodecBinary && h.KindsHash == n.kindsHash {
+				p.binary = true
+			}
+		}
 	}
 	for _, k := range h.Known {
 		id, err := ids.Parse(k.ID)
