@@ -135,6 +135,14 @@ func BenchmarkE_T11_WireFormat(b *testing.B) {
 	}
 }
 
+func BenchmarkE_T12_FanoutHotPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T12FanoutHotPath(true)
+		report(b, tab, 0, 2, "borrow-clones-per-dlv") // must stay 0.00
+		report(b, tab, 0, 3, "borrow-allocs-per-dlv")
+	}
+}
+
 // --- micro-benchmarks of hot paths ------------------------------------------
 
 // BenchmarkBrokerPublishWorld measures the full per-publish path through

@@ -48,6 +48,7 @@ func main() {
 		{"E-T9", exp.T9MobilityHandoff},
 		{"E-T10", exp.T10Discovery},
 		{"E-T11", exp.T11WireFormat},
+		{"E-T12", exp.T12FanoutHotPath},
 	}
 	ran := 0
 	for _, r := range runners {

@@ -203,6 +203,15 @@ func (a Attributes) Names() []string {
 }
 
 // Event is one item of contextual information in flight.
+//
+// Ownership: an event is mutable while its producer assembles it (New,
+// Set, Stamp). The moment it enters fan-out — published into the event
+// service or handed to subscription handlers — it is frozen and shared:
+// one Event value backs every local delivery and every outgoing wire
+// message, which is what makes delivery zero-copy. Pipeline stages that
+// rewrite attributes must take Mutable() (copy-on-write) or
+// CloneDetached() first; mutator methods on a frozen event panic, so a
+// misbehaving subscriber cannot corrupt the copies its neighbours see.
 type Event struct {
 	// ID uniquely identifies the event (for dedup across paths).
 	ID ids.ID
@@ -213,11 +222,22 @@ type Event struct {
 	Source string
 	// Time is the production timestamp (virtual time since world epoch).
 	Time time.Duration
-	// Attrs is the filterable attribute view.
+	// Attrs is the filterable attribute view. Read-only once the event is
+	// frozen; use Mutable or CloneDetached to rewrite. The freeze guard
+	// lives in the mutator methods (Set, SetBody, Stamp) — Go cannot seal
+	// a map, so writing Attrs directly on a frozen event is undetected
+	// corruption of every sharer. The clone-vs-borrow differential test
+	// keeps in-tree stages honest about this.
 	Attrs Attributes
 	// Body is an optional XML island with structured payload, bound via
 	// type projection.
 	Body string
+
+	// frozen marks the event immutable and shareable across deliveries.
+	// Only the zero value travels on the wire: both decoders leave it
+	// unset so decoded envelopes compare equal to their originals, and
+	// the pub/sub layer freezes at the fan-out boundary instead.
+	frozen bool
 }
 
 // New constructs an event with a fresh attribute map.
@@ -230,14 +250,18 @@ func New(typ, source string, at time.Duration) *Event {
 	}
 }
 
-// Set assigns an attribute and returns the event for chaining.
+// Set assigns an attribute and returns the event for chaining. It panics
+// on a frozen event: shared events must not be rewritten in place.
 func (e *Event) Set(name string, v Value) *Event {
+	e.mustBeMutable("Set")
 	e.Attrs[name] = v
 	return e
 }
 
 // SetBody assigns the XML body island and returns the event for chaining.
+// It panics on a frozen event.
 func (e *Event) SetBody(xmlIsland string) *Event {
+	e.mustBeMutable("SetBody")
 	e.Body = xmlIsland
 	return e
 }
@@ -277,18 +301,63 @@ func (e *Event) GetNum(name string) float64 {
 }
 
 // Stamp assigns the event's ID deterministically from source and sequence
-// number, and returns the event.
+// number, and returns the event. It panics on a frozen event.
 func (e *Event) Stamp(seq uint64) *Event {
+	e.mustBeMutable("Stamp")
 	e.ID = ids.FromString(fmt.Sprintf("%s/%s/%d", e.Source, e.Type, seq))
 	return e
 }
 
-// Clone returns a deep copy of the event.
-func (e *Event) Clone() *Event {
+func (e *Event) mustBeMutable(op string) {
+	if e.frozen {
+		panic(fmt.Sprintf("event: %s on frozen event %s (type %s); use Mutable or CloneDetached", op, e.ID.Short(), e.Type))
+	}
+}
+
+// Freeze marks the event immutable so one value can be shared across
+// every delivery of a fan-out (zero-copy). Idempotent; returns e. The
+// pub/sub layer calls this at the publish and dispatch boundaries —
+// producers rarely need to.
+//
+// The already-frozen fast path deliberately skips the write: after the
+// publisher's initial Freeze (which happens-before every delivery via
+// the endpoint's message handoff), re-freezes on other goroutines — the
+// TCP loopback dispatching to the local broker, for instance — are pure
+// reads, keeping the shared event race-free.
+func (e *Event) Freeze() *Event {
+	if !e.frozen {
+		e.frozen = true
+	}
+	return e
+}
+
+// Frozen reports whether the event is immutable and shared.
+func (e *Event) Frozen() bool { return e.frozen }
+
+// Mutable returns an event safe to modify: e itself when it is still
+// unfrozen, otherwise a detached deep copy (copy-on-write). Pipeline
+// stages that rewrite attributes call this once and work on the result.
+func (e *Event) Mutable() *Event {
+	if !e.frozen {
+		return e
+	}
+	return e.CloneDetached()
+}
+
+// CloneDetached returns a mutable deep copy that shares no state with e:
+// a fresh attribute map, and no frozen mark regardless of e's. Use it
+// when a copy must be retained and rewritten independently of the
+// original (the explicit escape hatch from borrow semantics).
+func (e *Event) CloneDetached() *Event {
 	out := *e
 	out.Attrs = e.Attrs.Clone()
+	out.frozen = false
 	return &out
 }
+
+// Clone returns a mutable deep copy of the event (alias of CloneDetached,
+// kept for existing callers).
+func (e *Event) Clone() *Event { return e.CloneDetached() }
 
 // xmlEvent is the XML wire form.
 type xmlEvent struct {

@@ -202,3 +202,77 @@ func TestGetHelpers(t *testing.T) {
 		t.Errorf("GetNum non-numeric should be 0")
 	}
 }
+
+func TestFreezeSemantics(t *testing.T) {
+	e := New("t", "s", 0).Set("user", S("anna")).Stamp(1)
+	if e.Frozen() {
+		t.Fatal("fresh event already frozen")
+	}
+	if e.Mutable() != e {
+		t.Fatal("Mutable of an unfrozen event must return the event itself")
+	}
+	if e.Freeze() != e || !e.Frozen() {
+		t.Fatal("Freeze must mark and return the event")
+	}
+	e.Freeze() // idempotent
+
+	mustPanic := func(op string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on frozen event did not panic", op)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Set", func() { e.Set("user", S("mallory")) })
+	mustPanic("SetBody", func() { e.SetBody("<x/>") })
+	mustPanic("Stamp", func() { e.Stamp(2) })
+
+	// Reads stay available on frozen events.
+	if e.GetString("user") != "anna" {
+		t.Fatal("read on frozen event failed")
+	}
+}
+
+func TestMutableAndCloneDetached(t *testing.T) {
+	e := New("t", "s", 0).Set("user", S("anna")).Stamp(1).Freeze()
+	m := e.Mutable()
+	if m == e || m.Frozen() {
+		t.Fatal("Mutable of a frozen event must be a fresh unfrozen copy")
+	}
+	m.Set("user", S("bob")).SetBody("<b/>")
+	if e.GetString("user") != "anna" || e.Body != "" {
+		t.Fatal("mutating the copy leaked into the frozen original")
+	}
+
+	c := e.CloneDetached()
+	if c == e || c.Frozen() {
+		t.Fatal("CloneDetached must be a fresh unfrozen copy")
+	}
+	c.Attrs["user"] = S("carol")
+	if e.GetString("user") != "anna" {
+		t.Fatal("detached clone shares the attribute map")
+	}
+	if c.ID != e.ID || c.Type != e.Type || c.Source != e.Source || c.Time != e.Time {
+		t.Fatal("detached clone lost envelope fields")
+	}
+}
+
+func TestWireRoundTripNotFrozen(t *testing.T) {
+	// Frozen-ness is a process-local sharing mark, not wire state: an
+	// event frozen by fan-out decodes unfrozen on the receiving node (it
+	// is refrozen at that node's own fan-out boundary).
+	e := New("t", "s", 0).Set("user", S("anna")).Stamp(1).Freeze()
+	data, err := Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frozen() {
+		t.Fatal("decoded event must start unfrozen")
+	}
+}

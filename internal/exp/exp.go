@@ -131,5 +131,6 @@ func All(quick bool) []*Table {
 		T9MobilityHandoff(quick),
 		T10Discovery(quick),
 		T11WireFormat(quick),
+		T12FanoutHotPath(quick),
 	}
 }

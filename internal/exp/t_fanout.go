@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/pubsub"
+	"github.com/gloss/active/internal/simnet"
+	"github.com/gloss/active/internal/transport"
+	"github.com/gloss/active/internal/wire"
+)
+
+// T12FanoutHotPath measures the publish→deliver→write pipeline after the
+// zero-copy refactor. Simulated rows compare borrow fan-out (one frozen
+// event shared by every delivery) against the clone-per-delivery
+// reference: clones and heap allocations per delivery, plus wall-clock
+// throughput of the whole simulated world (scheduler timer wheel +
+// delivery batching included). TCP rows compare batched frame writing
+// (queued frames coalesced into one writev per flush) against the
+// one-frame-per-write reference: connection writes per 10k messages and
+// end-to-end throughput over loopback.
+func T12FanoutHotPath(quick bool) *Table {
+	t := &Table{
+		ID:     "E-T12",
+		Title:  "Fan-out hot path: zero-copy delivery and batched frame writing",
+		Header: []string{"path", "fanout", "clones/dlv", "allocs/dlv", "writes/10k msgs", "k msgs/s"},
+	}
+	fanouts := []int{8, 64}
+	pubs := 2000
+	tcpMsgs := 10000
+	if quick {
+		fanouts = []int{8}
+		pubs = 400
+		tcpMsgs = 2000
+	}
+
+	for _, fo := range fanouts {
+		for _, mode := range []struct {
+			name  string
+			clone bool
+		}{{"sim/borrow", false}, {"sim/clone", true}} {
+			clonesPerDlv, allocsPerDlv, kmsgs := simFanoutRun(fo, pubs, mode.clone)
+			t.AddRow(mode.name, fmt.Sprint(fo), f2(clonesPerDlv), f1(allocsPerDlv), "-", f1(kmsgs))
+		}
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"tcp/batch", false}, {"tcp/nobatch", true}} {
+		writesPer10k, kmsgs := tcpBatchRun(tcpMsgs, mode.disable)
+		t.AddRow(mode.name, "16", "-", "-", f1(writesPer10k), f1(kmsgs))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("sim: %d publishes to matching local subscribers, DisableJitter+DisableMetrics world", pubs),
+		fmt.Sprintf("tcp: %d messages over loopback in bursts of 16; writes = flushes of the sender's per-peer queue", tcpMsgs),
+		"clones/dlv is broker event copies per delivery: 0 on the borrow path by design")
+	return t
+}
+
+// simFanoutRun publishes pubs events to fo matching subscribers on one
+// simulated broker and reports clones per delivery, heap allocations per
+// delivery and wall-clock throughput in k deliveries/s.
+func simFanoutRun(fo, pubs int, clone bool) (clonesPerDlv, allocsPerDlv, kmsgs float64) {
+	w := simnet.NewWorld(simnet.Config{Seed: 12, DisableJitter: true, DisableMetrics: true})
+	bn := w.NewNode(ids.FromString("t12-broker"), "eu", netapi.Coord{})
+	br := pubsub.NewBroker(bn, pubsub.Options{CloneFanout: clone})
+	for i := 0; i < fo; i++ {
+		cn := w.NewNode(ids.FromString(fmt.Sprintf("t12-sub-%d", i)), "eu", netapi.Coord{X: 1})
+		cl := pubsub.NewClient(cn, br.ID())
+		cl.Subscribe(pubsub.NewFilter(pubsub.TypeIs("hot")), func(*event.Event) {})
+	}
+	pn := w.NewNode(ids.FromString("t12-pub"), "eu", netapi.Coord{X: 2})
+	pub := pubsub.NewClient(pn, br.ID())
+	w.RunFor(time.Second)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < pubs; i++ {
+		pub.Publish(event.New("hot", "t12", w.Now()).
+			Set("user", event.S("user-1")).
+			Set("x", event.F(3.5)).
+			Stamp(uint64(i)))
+		w.RunFor(5 * time.Millisecond)
+	}
+	w.RunFor(time.Second)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	st := br.Stats()
+	dlv := float64(st.ClientDelivers)
+	if dlv == 0 {
+		return 0, 0, 0
+	}
+	clonesPerDlv = float64(st.EventClones) / dlv
+	allocsPerDlv = float64(after.Mallocs-before.Mallocs) / dlv
+	kmsgs = dlv / elapsed.Seconds() / 1000
+	return
+}
+
+// tcpBatchRun pushes msgs echo messages through a loopback TCP pair in
+// bursts and reports sender connection writes per 10k messages and
+// throughput in k msgs/s.
+func tcpBatchRun(msgs int, disableBatching bool) (writesPer10k, kmsgs float64) {
+	reg := wire.NewRegistry()
+	transport.RegisterMessages(reg)
+	reg.Register(&t12Msg{})
+	suffix := "batch"
+	if disableBatching {
+		suffix = "nobatch"
+	}
+	a, err := transport.Listen(ids.FromString("t12-a-"+suffix), reg,
+		transport.Options{Seed: 1, DisableBatching: disableBatching})
+	if err != nil {
+		panic(err)
+	}
+	defer a.Close()
+	b, err := transport.Listen(ids.FromString("t12-b-"+suffix), reg, transport.Options{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer b.Close()
+	a.AddPeer(b.ID(), b.Addr())
+	var received atomic.Uint64
+	b.Handle("t12.msg", func(netapi.Ctx, ids.ID, wire.Message) { received.Add(1) })
+
+	msg := &t12Msg{Text: "the quick brown fox jumps over the lazy dog"}
+	start := time.Now()
+	const burst = 16
+	for sent := 0; sent < msgs; sent += burst {
+		for j := 0; j < burst && sent+j < msgs; j++ {
+			a.Send(b.ID(), msg)
+		}
+		// Light backpressure so the 256-frame outbox never overflows.
+		for int(received.Load()) < sent-outboxSlack {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for int(received.Load()) < msgs && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	st := a.Stats()
+	if st.Sent == 0 {
+		return 0, 0
+	}
+	writesPer10k = float64(st.FlushWrites) / float64(st.Sent) * 10000
+	kmsgs = float64(received.Load()) / elapsed.Seconds() / 1000
+	return
+}
+
+// outboxSlack keeps the in-flight window under the transport's per-peer
+// queue bound.
+const outboxSlack = 128
+
+type t12Msg struct {
+	Text string `xml:"text,attr"`
+}
+
+func (t12Msg) Kind() string { return "t12.msg" }

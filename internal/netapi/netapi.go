@@ -82,3 +82,29 @@ type Endpoint interface {
 	// registration for the same kind replaces the first.
 	Handle(kind string, h Handler)
 }
+
+// Multicaster is optionally implemented by endpoints with a fan-out fast
+// path: one message value (and, where the endpoint serialises, one
+// encoded body) is shared across every destination instead of being
+// re-built per Send. The TCP transport encodes the payload once per
+// negotiated codec; the simulator coalesces same-deadline deliveries
+// into one scheduler event.
+type Multicaster interface {
+	// SendMany transmits msg once to each destination, in order.
+	// Semantically identical to calling Send per destination.
+	SendMany(tos []ids.ID, msg wire.Message)
+}
+
+// SendMany delivers msg to every destination, using the endpoint's
+// multicast fast path when it has one and per-destination Sends
+// otherwise. Callers must treat msg as shared and immutable afterwards
+// (events should be frozen before fanning out).
+func SendMany(ep Endpoint, tos []ids.ID, msg wire.Message) {
+	if m, ok := ep.(Multicaster); ok {
+		m.SendMany(tos, msg)
+		return
+	}
+	for _, to := range tos {
+		ep.Send(to, msg)
+	}
+}

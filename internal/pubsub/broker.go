@@ -28,6 +28,13 @@ type Options struct {
 	// index is maintained either way, so flipping this never changes
 	// observable behaviour, only the per-publish cost.
 	DisableIndex bool
+	// CloneFanout restores the reference delivery path: every local
+	// delivery, neighbour forward and proxy buffer gets its own detached
+	// deep copy of the event. The default (borrow fan-out) freezes the
+	// event once and shares it everywhere — zero event copies per
+	// delivery; the clone path exists for the clone-vs-borrow
+	// differential tests and the E-T12 ablation.
+	CloneFanout bool
 }
 
 func (o *Options) applyDefaults() {
@@ -65,6 +72,10 @@ type Stats struct {
 	Matches        uint64 // events matched at this broker
 	ClientDelivers uint64
 	NeighborFwds   uint64
+	// EventClones counts deep copies made during fan-out: always zero on
+	// the borrow path, one per delivery with Options.CloneFanout. The
+	// fan-out benchmarks report this per delivery to prove zero-copy.
+	EventClones uint64
 }
 
 // Broker is one node of the content-based event service.
@@ -439,6 +450,13 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	pub := msg.(*PubMsg)
 	b.stats.PubsReceived++
 	ev := pub.Event
+	if !b.opts.CloneFanout {
+		// Borrow fan-out: one frozen event backs every local delivery,
+		// proxy buffer slot and outgoing message. Freezing here (rather
+		// than at decode) keeps wire round-trips byte-identical while
+		// guaranteeing no subscriber can rewrite what its neighbours see.
+		ev.Freeze()
+	}
 	targets := make(map[ids.ID]bool)
 	matched := false
 	collect := func(ent *entry) {
@@ -457,15 +475,23 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	if matched {
 		b.stats.Matches++
 	}
+	if len(targets) == 0 {
+		return
+	}
 	order := make([]ids.ID, 0, len(targets))
 	for d := range targets {
 		order = append(order, d)
 	}
 	sort.Slice(order, func(i, j int) bool { return ids.Less(order[i], order[j]) })
+	// Partition the fan-out by message kind so each group rides one
+	// multicast: the message — and under a serialising transport its
+	// encoded body — is built once for all destinations in the group
+	// (encode once, send many).
+	var fwds, delivers []ids.ID
 	for _, d := range order {
 		if b.neighbors[d] {
 			b.stats.NeighborFwds++
-			b.ep.Send(d, &PubMsg{Event: ev})
+			fwds = append(fwds, d)
 			continue
 		}
 		if p, detached := b.proxies[d]; detached {
@@ -473,12 +499,39 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 				p.dropped++
 				continue
 			}
-			p.buf = append(p.buf, ev)
+			p.buf = append(p.buf, b.fanoutEvent(ev))
 			continue
 		}
 		b.stats.ClientDelivers++
-		b.ep.Send(d, &DeliverMsg{Event: ev})
+		delivers = append(delivers, d)
 	}
+	if b.opts.CloneFanout {
+		// Reference path: a detached copy per delivery, one Send each.
+		for _, d := range fwds {
+			b.ep.Send(d, &PubMsg{Event: b.fanoutEvent(ev)})
+		}
+		for _, d := range delivers {
+			b.ep.Send(d, &DeliverMsg{Event: b.fanoutEvent(ev)})
+		}
+		return
+	}
+	if len(fwds) > 0 {
+		netapi.SendMany(b.ep, fwds, &PubMsg{Event: ev})
+	}
+	if len(delivers) > 0 {
+		netapi.SendMany(b.ep, delivers, &DeliverMsg{Event: ev})
+	}
+}
+
+// fanoutEvent yields the event to hand one delivery target: the shared
+// frozen event on the borrow path, a counted detached clone on the
+// reference path.
+func (b *Broker) fanoutEvent(ev *event.Event) *event.Event {
+	if !b.opts.CloneFanout {
+		return ev
+	}
+	b.stats.EventClones++
+	return ev.CloneDetached()
 }
 
 // matchLinear is the original O(table) matching scan, preserved as the

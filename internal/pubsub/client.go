@@ -89,7 +89,13 @@ func (c *Client) Unsubscribe(f Filter) {
 // dispatches it to this client's own matching subscriptions (the broker
 // never echoes an event back to the direction it came from, so local
 // subscribers need the loopback; ID dedup keeps this safe).
+//
+// Publishing freezes the event: from here on one immutable value is
+// shared by every subscriber in the network, so the caller must not
+// mutate it afterwards (mutator methods will panic). Build a fresh event
+// per publish, or CloneDetached before republishing with changes.
 func (c *Client) Publish(ev *event.Event) {
+	ev.Freeze()
 	c.ep.Send(c.broker, &PubMsg{Event: ev})
 	c.dispatch(ev)
 }
@@ -152,7 +158,10 @@ func (c *Client) handleDeliver(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
 }
 
 // dispatch hands an event to every matching subscription, once per event ID.
+// The event is frozen first: handlers share one immutable value (zero-copy
+// delivery) and take Mutable()/CloneDetached() when they need to rewrite.
 func (c *Client) dispatch(ev *event.Event) {
+	ev.Freeze()
 	if c.seen[ev.ID] {
 		c.Duplicates++
 		return

@@ -218,6 +218,101 @@ func TestUnhandledCounted(t *testing.T) {
 	}
 }
 
+func TestDeliveryBatchingCoalesces(t *testing.T) {
+	// Without jitter every message of a burst lands at the same instant
+	// and the same destination: one scheduler flush carries them all.
+	w, a, b := twoNodeWorld(t, Config{Seed: 1, DisableJitter: true})
+	order := make([]int, 0, 16)
+	b.Handle("test.ping", func(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
+		order = append(order, msg.(*ping).N)
+	})
+	const burst = 16
+	for i := 0; i < burst; i++ {
+		a.Send(b.ID(), &ping{N: i})
+	}
+	w.RunFor(time.Second)
+	m := w.Metrics()
+	if m.Delivered != burst || m.Sent != burst {
+		t.Fatalf("Sent/Delivered = %d/%d, want %d/%d (message counts must not change)", m.Sent, m.Delivered, burst, burst)
+	}
+	if m.FlushEvents != 1 {
+		t.Fatalf("FlushEvents = %d, want 1 (one batch for a same-deadline burst)", m.FlushEvents)
+	}
+	if m.BatchedMsgs != burst-1 {
+		t.Fatalf("BatchedMsgs = %d, want %d", m.BatchedMsgs, burst-1)
+	}
+	for i, n := range order {
+		if n != i {
+			t.Fatalf("batched delivery reordered: %v", order)
+		}
+	}
+}
+
+func TestJitterKeepsBatchesApart(t *testing.T) {
+	// With jitter on, deadlines are (almost surely) distinct: batching
+	// degenerates to one flush per message and semantics are unchanged.
+	w, a, b := twoNodeWorld(t, Config{Seed: 1})
+	delivered := 0
+	b.Handle("test.ping", func(netapi.Ctx, ids.ID, wire.Message) { delivered++ })
+	const burst = 16
+	for i := 0; i < burst; i++ {
+		a.Send(b.ID(), &ping{N: i})
+	}
+	w.RunFor(time.Second)
+	if delivered != burst {
+		t.Fatalf("delivered %d of %d", delivered, burst)
+	}
+	m := w.Metrics()
+	if m.FlushEvents+m.BatchedMsgs != burst {
+		t.Fatalf("flush accounting broken: FlushEvents=%d BatchedMsgs=%d", m.FlushEvents, m.BatchedMsgs)
+	}
+}
+
+func TestSendManyShares(t *testing.T) {
+	w := NewWorld(Config{Seed: 3, DisableJitter: true})
+	a := w.NewNode(ids.FromString("many-a"), "eu", netapi.Coord{})
+	msg := &ping{N: 9}
+	var tos []ids.ID
+	got := 0
+	for i := 0; i < 4; i++ {
+		n := w.NewNode(ids.FromString(string(rune('b'+i))), "eu", netapi.Coord{X: 10})
+		tos = append(tos, n.ID())
+		n.Handle("test.ping", func(_ netapi.Ctx, _ ids.ID, m wire.Message) {
+			if m.(*ping) != msg {
+				t.Errorf("multicast did not share the message value")
+			}
+			got++
+		})
+	}
+	a.SendMany(tos, msg)
+	w.RunFor(time.Second)
+	if got != 4 {
+		t.Fatalf("delivered %d of 4 multicast copies", got)
+	}
+}
+
+func TestKillMidBatchDropsRemainder(t *testing.T) {
+	// A handler killing its own node while a batch drains: the already-
+	// running flush must drop the remaining messages, same as the
+	// unbatched path would at that virtual instant.
+	w, a, b := twoNodeWorld(t, Config{Seed: 1, DisableJitter: true})
+	delivered := 0
+	b.Handle("test.ping", func(netapi.Ctx, ids.ID, wire.Message) {
+		delivered++
+		b.Kill()
+	})
+	for i := 0; i < 8; i++ {
+		a.Send(b.ID(), &ping{N: i})
+	}
+	w.RunFor(time.Second)
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (kill must stop the batch)", delivered)
+	}
+	if m := w.Metrics(); m.Dropped != 7 {
+		t.Fatalf("Dropped = %d, want 7", m.Dropped)
+	}
+}
+
 func TestLatencyEstimate(t *testing.T) {
 	w, a, b := twoNodeWorld(t, Config{Seed: 1})
 	want := time.Millisecond + 10*time.Millisecond // base + 1000km*10µs

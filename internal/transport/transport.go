@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gloss/active/internal/ids"
@@ -37,6 +38,10 @@ const maxFrame = 16 << 20
 // outboxSize bounds per-peer queued frames; excess is dropped (the
 // protocols tolerate loss).
 const outboxSize = 256
+
+// flushWatermark bounds the payload bytes coalesced into one flush, so a
+// queue of large frames cannot grow an unbounded writev batch.
+const flushWatermark = 256 << 10
 
 // HelloMsg identifies the dialing node and gossips its address book.
 // Codecs lists the wire codecs the sender is willing to speak beyond the
@@ -85,6 +90,11 @@ type Options struct {
 	// matching registry hash; all other traffic stays XML, so mixed
 	// deployments interoperate frame by frame.
 	Codec string
+	// DisableBatching writes one frame per connection write (the
+	// original reference path) instead of coalescing a peer's queued
+	// frames into a single writev batch. Kept for the batching ablation
+	// in E-T12 and the differential transport tests.
+	DisableBatching bool
 	// Logger receives diagnostics; nil discards.
 	Logger *slog.Logger
 }
@@ -109,6 +119,14 @@ type Stats struct {
 	Dropped    uint64 // no address, queue overflow, encode failures
 	Dials      uint64
 	DialFails  uint64
+	// FlushWrites counts connection flushes: each is one vectored write
+	// (writev) covering every frame drained from the peer's queue at that
+	// moment, however many coalesced. With DisableBatching it counts one
+	// per frame, so FlushWrites/Sent measures the batching win directly.
+	FlushWrites uint64
+	// BatchedFrames counts frames that rode in a flush after the first —
+	// each one saved a write the one-frame-per-write path would have paid.
+	BatchedFrames uint64
 }
 
 type peerState int
@@ -125,10 +143,19 @@ type peer struct {
 	state peerState
 	out   chan []byte
 	conn  net.Conn
-	// binary records that the peer's hello advertised the binary codec
-	// with a matching kinds hash; frames to it may then use the fast path
-	// (if this node prefers binary too).
-	binary bool
+	// wantsBinary and kindsHash record the codec capabilities from the
+	// peer's most recent hello. Binary frames flow toward it only while
+	// it advertised the binary codec AND its registry fingerprint matches
+	// ours — re-derived on every send, so either side re-helloing after a
+	// runtime registry change flips the link codec without reconnecting.
+	wantsBinary bool
+	kindsHash   string
+}
+
+// binaryOK reports whether the fast-path codec may be used toward p given
+// this node's current registry fingerprint.
+func (p *peer) binaryOK(localHash string) bool {
+	return p.wantsBinary && p.kindsHash == localHash
 }
 
 type pendingReq struct {
@@ -136,12 +163,19 @@ type pendingReq struct {
 	timer vclock.Timer
 }
 
+// binCodecState is the node's current fast-path codec and the registry
+// fingerprint it was built from, swapped atomically on RefreshRegistry so
+// reader goroutines never see a codec/hash torn pair.
+type binCodecState struct {
+	bin       *wire.BinaryCodec
+	kindsHash string
+}
+
 // Node is a TCP-backed netapi.Endpoint.
 type Node struct {
 	info      netapi.NodeInfo
 	reg       *wire.Registry
-	bin       *wire.BinaryCodec
-	kindsHash string
+	codec     atomic.Pointer[binCodecState]
 	preferBin bool
 	opts      Options
 	log       *slog.Logger
@@ -154,6 +188,11 @@ type Node struct {
 	closeOne sync.Once
 	wg       sync.WaitGroup
 
+	// Write-path counters, updated by writer goroutines (atomics, not
+	// actor state, so flushes never detour through the inbox).
+	flushWrites   atomic.Uint64
+	batchedFrames atomic.Uint64
+
 	// Actor-confined state.
 	handlers map[string]netapi.Handler
 	peers    map[ids.ID]*peer
@@ -162,7 +201,10 @@ type Node struct {
 	stats    Stats
 }
 
-var _ netapi.Endpoint = (*Node)(nil)
+var (
+	_ netapi.Endpoint    = (*Node)(nil)
+	_ netapi.Multicaster = (*Node)(nil)
+)
 
 // Listen starts a TCP node. Register every message type with reg before
 // calling — the binary fast-path codec interns the registry's kind table
@@ -179,8 +221,6 @@ func Listen(id ids.ID, reg *wire.Registry, opts Options) (*Node, error) {
 	n := &Node{
 		info:      netapi.NodeInfo{ID: id, Region: opts.Region, Coord: opts.Coord},
 		reg:       reg,
-		bin:       wire.NewBinaryCodec(reg),
-		kindsHash: reg.KindsHash(),
 		preferBin: opts.Codec == wire.CodecBinary,
 		opts:      opts,
 		log:       opts.Logger.With("node", id.Short()),
@@ -193,6 +233,7 @@ func Listen(id ids.ID, reg *wire.Registry, opts Options) (*Node, error) {
 		peers:     make(map[ids.ID]*peer),
 		pending:   make(map[uint64]*pendingReq),
 	}
+	n.codec.Store(&binCodecState{bin: wire.NewBinaryCodec(reg), kindsHash: reg.KindsHash()})
 	n.wg.Add(2)
 	go n.actorLoop()
 	go n.acceptLoop()
@@ -266,12 +307,15 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// Stats returns a snapshot (posted through the actor loop for safety).
+// Stats returns a snapshot (posted through the actor loop for safety;
+// the write-path counters are folded in from their atomics).
 func (n *Node) Stats() Stats {
 	ch := make(chan Stats, 1)
 	n.do(func() { ch <- n.stats })
 	select {
 	case s := <-ch:
+		s.FlushWrites = n.flushWrites.Load()
+		s.BatchedFrames = n.batchedFrames.Load()
 		return s
 	case <-time.After(time.Second):
 		return Stats{}
@@ -291,7 +335,20 @@ func (n *Node) AddPeer(id ids.ID, addr string) {
 // Send implements netapi.Endpoint.
 func (n *Node) Send(to ids.ID, msg wire.Message) {
 	env := &wire.Envelope{From: n.info.ID, To: to, Msg: msg}
-	n.do(func() { n.transmit(env) })
+	n.do(func() { n.transmit(env, nil) })
+}
+
+// SendMany implements netapi.Multicaster: the message body is encoded
+// once per negotiated codec and shared across every destination frame
+// (encode once, send many); only the per-peer envelope header differs.
+func (n *Node) SendMany(tos []ids.ID, msg wire.Message) {
+	targets := append([]ids.ID(nil), tos...)
+	n.do(func() {
+		shared := &wire.SharedBody{}
+		for _, to := range targets {
+			n.transmit(&wire.Envelope{From: n.info.ID, To: to, Msg: msg}, shared)
+		}
+	})
 }
 
 // Request implements netapi.Endpoint.
@@ -308,7 +365,7 @@ func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb ne
 			}
 		})
 		n.pending[corr] = p
-		n.transmit(env)
+		n.transmit(env, nil)
 	})
 }
 
@@ -323,7 +380,7 @@ func (n *Node) ensurePeer(id ids.ID) *peer {
 	return p
 }
 
-func (n *Node) transmit(env *wire.Envelope) {
+func (n *Node) transmit(env *wire.Envelope, shared *wire.SharedBody) {
 	if env.To == n.info.ID {
 		// Local loopback.
 		n.dispatch(env)
@@ -332,11 +389,18 @@ func (n *Node) transmit(env *wire.Envelope) {
 	p := n.ensurePeer(env.To)
 	// Negotiated per peer: binary frames only toward peers whose hello
 	// advertised the binary codec with a matching kind table.
+	st := n.codec.Load()
 	codec := wire.Codec(n.reg)
-	if n.preferBin && p.binary {
-		codec = n.bin
+	if n.preferBin && p.binaryOK(st.kindsHash) {
+		codec = st.bin
 	}
-	frame, err := codec.Encode(env)
+	var frame []byte
+	var err error
+	if se, ok := codec.(wire.SharedEncoder); ok && shared != nil {
+		frame, err = se.EncodeShared(env, shared)
+	} else {
+		frame, err = codec.Encode(env)
+	}
 	if err != nil {
 		n.stats.Dropped++
 		n.log.Warn("encode failed", "err", err)
@@ -350,7 +414,7 @@ func (n *Node) transmit(env *wire.Envelope) {
 	select {
 	case p.out <- frame:
 		n.stats.Sent++
-		if codec == n.bin {
+		if codec == st.bin {
 			n.stats.SentBinary++
 		}
 	default:
@@ -400,60 +464,158 @@ func (n *Node) dialPeer(id ids.ID, addr string) {
 	})
 }
 
-// helloFrame builds the dialer's hello (called from dial goroutine; the
-// address book snapshot is fetched via the actor loop).
-func (n *Node) helloFrame() ([]byte, error) {
-	type bookEntry struct {
-		id   ids.ID
-		addr string
-	}
-	ch := make(chan []bookEntry, 1)
-	n.do(func() {
-		var book []bookEntry
-		for id, p := range n.peers {
-			if p.addr != "" {
-				book = append(book, bookEntry{id, p.addr})
-			}
+// bookSnapshot lists known peer addresses. Actor loop only.
+func (n *Node) bookSnapshot() []HelloPeer {
+	var book []HelloPeer
+	for id, p := range n.peers {
+		if p.addr != "" {
+			book = append(book, HelloPeer{ID: id.String(), Addr: p.addr})
 		}
-		ch <- book
-	})
-	var book []bookEntry
-	select {
-	case book = <-ch:
-	case <-n.closed:
-		return nil, errors.New("transport: closed")
 	}
+	return book
+}
+
+// buildHello assembles this node's hello around a book snapshot. Safe off
+// the actor loop: everything else it reads is immutable or atomic.
+func (n *Node) buildHello(book []HelloPeer) *HelloMsg {
 	hello := &HelloMsg{
 		ID:     n.info.ID.String(),
 		Addr:   n.Addr(),
 		Region: n.info.Region,
 		X:      n.info.Coord.X,
 		Y:      n.info.Coord.Y,
+		Known:  book,
 	}
 	if n.preferBin {
 		hello.Codecs = []string{wire.CodecXML, wire.CodecBinary}
-		hello.KindsHash = n.kindsHash
+		hello.KindsHash = n.codec.Load().kindsHash
 	}
-	for _, e := range book {
-		hello.Known = append(hello.Known, HelloPeer{ID: e.id.String(), Addr: e.addr})
+	return hello
+}
+
+// helloEnvelope wraps a hello for the wire; hellos always travel as XML
+// so negotiation needs no prior agreement.
+func (n *Node) helloEnvelope(book []HelloPeer) ([]byte, error) {
+	return n.reg.Encode(&wire.Envelope{From: n.info.ID, To: n.info.ID, Msg: n.buildHello(book)})
+}
+
+// helloFrame builds the dialer's hello (called from dial goroutine; the
+// address book snapshot is fetched via the actor loop).
+func (n *Node) helloFrame() ([]byte, error) {
+	ch := make(chan []HelloPeer, 1)
+	n.do(func() { ch <- n.bookSnapshot() })
+	select {
+	case book := <-ch:
+		return n.helloEnvelope(book)
+	case <-n.closed:
+		return nil, errors.New("transport: closed")
 	}
-	return n.reg.Encode(&wire.Envelope{From: n.info.ID, To: n.info.ID, Msg: hello})
+}
+
+// RefreshRegistry rebuilds the binary fast-path codec after message
+// kinds were registered at runtime (e.g. dynamic bundle types) and
+// rebroadcasts the hello on every established link, so peers re-evaluate
+// codec compatibility against the new kinds hash — adaptive
+// renegotiation without reconnecting. Links whose peers now match flip
+// to binary on this node's next sends; peers learn the new hash from the
+// hello and flip their own sending side.
+func (n *Node) RefreshRegistry() {
+	n.do(func() {
+		n.codec.Store(&binCodecState{bin: wire.NewBinaryCodec(n.reg), kindsHash: n.reg.KindsHash()})
+		n.rehello()
+	})
+}
+
+// rehello queues a fresh hello on every connected peer link. Actor loop
+// only. A saturated outbox must not lose the renegotiation: capability
+// knowledge is updated only by hellos, so a dropped one would leave the
+// peer on the stale kinds hash until the next reconnect — rehello
+// retries shortly instead (re-sending to peers that already got one is
+// harmless; mergeHello is idempotent).
+func (n *Node) rehello() {
+	frame, err := n.helloEnvelope(n.bookSnapshot())
+	if err != nil {
+		n.log.Warn("rehello encode failed", "err", err)
+		return
+	}
+	retry := false
+	for _, p := range n.peers {
+		if p.state != peerConnected {
+			continue
+		}
+		select {
+		case p.out <- frame:
+		default:
+			retry = true
+		}
+	}
+	if retry {
+		n.Clock().After(100*time.Millisecond, n.rehello)
+	}
 }
 
 func (n *Node) writeLoop(p *peer, conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
+	fail := func() {
+		n.do(func() {
+			p.state = peerIdle
+			p.conn = nil
+		})
+	}
+	var (
+		frames [][]byte
+		hdrs   []byte
+		iovecs [][]byte
+	)
 	for {
 		select {
 		case <-n.closed:
 			return
 		case frame := <-p.out:
-			if err := writeFrame(conn, frame); err != nil {
-				n.do(func() {
-					p.state = peerIdle
-					p.conn = nil
-				})
+			if n.opts.DisableBatching {
+				// Reference path: one frame per write call.
+				if err := writeFrame(conn, frame); err != nil {
+					fail()
+					return
+				}
+				n.flushWrites.Add(1)
+				continue
+			}
+			// Drain whatever else is already queued (up to the flush
+			// watermark) and write the whole batch with one writev. Each
+			// frame keeps its own 4-byte length header, so the receiver's
+			// framing is unchanged — only the syscall count drops.
+			frames = append(frames[:0], frame)
+			total := len(frame)
+		drain:
+			for total < flushWatermark {
+				select {
+				case f := <-p.out:
+					frames = append(frames, f)
+					total += len(f)
+				default:
+					break drain
+				}
+			}
+			hdrs = hdrs[:0]
+			for _, f := range frames {
+				var hdr [4]byte
+				binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+				hdrs = append(hdrs, hdr[:]...)
+			}
+			iovecs = iovecs[:0]
+			for i, f := range frames {
+				iovecs = append(iovecs, hdrs[4*i:4*i+4], f)
+			}
+			bufs := net.Buffers(iovecs)
+			if _, err := bufs.WriteTo(conn); err != nil {
+				fail()
 				return
+			}
+			n.flushWrites.Add(1)
+			if len(frames) > 1 {
+				n.batchedFrames.Add(uint64(len(frames) - 1))
 			}
 		}
 	}
@@ -519,20 +681,24 @@ func (n *Node) readLoop(conn net.Conn) {
 // codec mismatch can never wedge a link mid-negotiation.
 func (n *Node) decodeFrame(frame []byte) (*wire.Envelope, error) {
 	if wire.IsBinaryFrame(frame) {
-		return n.bin.Decode(frame)
+		return n.codec.Load().bin.Decode(frame)
 	}
 	return n.reg.Decode(frame)
 }
 
 // mergeHello learns addresses and codec capabilities from a peer's hello.
+// Capabilities are recorded verbatim and compared against our own kinds
+// hash lazily at send time, so a later RefreshRegistry on either side
+// re-evaluates every link without new state.
 func (n *Node) mergeHello(h *HelloMsg) {
 	if id, err := ids.Parse(h.ID); err == nil && h.Addr != "" {
 		p := n.ensurePeer(id)
 		p.addr = h.Addr
-		p.binary = false
+		p.wantsBinary = false
+		p.kindsHash = h.KindsHash
 		for _, c := range h.Codecs {
-			if c == wire.CodecBinary && h.KindsHash == n.kindsHash {
-				p.binary = true
+			if c == wire.CodecBinary {
+				p.wantsBinary = true
 			}
 		}
 	}
@@ -589,7 +755,7 @@ func (c *tcpCtx) Reply(msg wire.Message) {
 	c.node.transmit(&wire.Envelope{
 		From: c.node.info.ID, To: c.env.From,
 		CorrID: c.env.CorrID, IsReply: true, Msg: msg,
-	})
+	}, nil)
 }
 
 func (c *tcpCtx) ReplyErr(err error) {
@@ -600,7 +766,7 @@ func (c *tcpCtx) ReplyErr(err error) {
 	c.node.transmit(&wire.Envelope{
 		From: c.node.info.ID, To: c.env.From,
 		CorrID: c.env.CorrID, IsReply: true, Err: err.Error(),
-	})
+	}, nil)
 }
 
 // --- framing -------------------------------------------------------------------

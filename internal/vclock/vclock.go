@@ -31,59 +31,79 @@ type Timer interface {
 	Stop() bool
 }
 
-// item is a scheduled event in the simulator's priority queue.
+// item is one scheduled callback inside a bucket.
 type item struct {
-	at      time.Duration
-	seq     uint64 // FIFO tiebreak for equal times: determinism
 	fn      func()
 	stopped bool
-	index   int
 }
 
-type eventQueue []*item
+// bucket groups every event scheduled for one instant. The heap orders
+// buckets, not events, so scheduling N same-deadline deliveries (a
+// publish fan-out under fixed latency) costs one heap operation total
+// plus N slice appends — the timer-wheel analogue for a discrete-event
+// world where deadlines repeat exactly rather than falling into coarse
+// slots.
+type bucket struct {
+	at    time.Duration
+	seq   uint64 // creation order; heap tiebreak if equal times ever coexist
+	items []*item
+	next  int // index of the first unexecuted item
+	index int // heap position
+}
 
-func (q eventQueue) Len() int { return len(q) }
+type bucketQueue []*bucket
 
-func (q eventQueue) Less(i, j int) bool {
+func (q bucketQueue) Len() int { return len(q) }
+
+func (q bucketQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (q bucketQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	it := x.(*item)
-	it.index = len(*q)
-	*q = append(*q, it)
+func (q *bucketQueue) Push(x any) {
+	b := x.(*bucket)
+	b.index = len(*q)
+	*q = append(*q, b)
 }
 
-func (q *eventQueue) Pop() any {
+func (q *bucketQueue) Pop() any {
 	old := *q
 	n := len(old)
-	it := old[n-1]
+	b := old[n-1]
 	old[n-1] = nil
 	*q = old[:n-1]
-	return it
+	return b
 }
 
 // Scheduler is a deterministic discrete-event scheduler. It is not safe
 // for concurrent use: the entire simulated world runs on one goroutine.
+//
+// Internally it is a bucketed timer wheel: events scheduled for the same
+// virtual instant share one bucket and the priority queue holds buckets,
+// so hot fan-out workloads (thousands of messages due at one deadline)
+// pay O(1) amortised scheduling instead of O(log n) heap churn each.
+// Within a bucket events run in scheduling order, which preserves the
+// original global FIFO tiebreak for equal times exactly.
 type Scheduler struct {
-	now   time.Duration
-	seq   uint64
-	queue eventQueue
-	steps uint64
+	now     time.Duration
+	seq     uint64 // bucket creation counter
+	buckets map[time.Duration]*bucket
+	queue   bucketQueue
+	steps   uint64
+	free    []*bucket // drained buckets recycled to keep the hot path alloc-light
 }
 
 // NewScheduler returns a scheduler positioned at time zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{buckets: make(map[time.Duration]*bucket)}
 }
 
 var _ Clock = (*Scheduler)(nil)
@@ -96,9 +116,24 @@ func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	it := &item{at: s.now + d, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, it)
+	at := s.now + d
+	b, ok := s.buckets[at]
+	if !ok {
+		if n := len(s.free); n > 0 {
+			b = s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			b.at, b.items, b.next = at, b.items[:0], 0
+		} else {
+			b = &bucket{at: at}
+		}
+		b.seq = s.seq
+		s.seq++
+		s.buckets[at] = b
+		heap.Push(&s.queue, b)
+	}
+	it := &item{fn: fn}
+	b.items = append(b.items, it)
 	return (*schedTimer)(it)
 }
 
@@ -115,9 +150,11 @@ func (t *schedTimer) Stop() bool {
 // Pending returns the number of scheduled, unstopped events.
 func (s *Scheduler) Pending() int {
 	n := 0
-	for _, it := range s.queue {
-		if !it.stopped {
-			n++
+	for _, b := range s.buckets {
+		for _, it := range b.items[b.next:] {
+			if !it.stopped {
+				n++
+			}
 		}
 	}
 	return n
@@ -126,33 +163,68 @@ func (s *Scheduler) Pending() int {
 // Steps returns the number of events executed so far.
 func (s *Scheduler) Steps() uint64 { return s.steps }
 
+// top returns the earliest bucket that still holds unexecuted items,
+// retiring drained buckets along the way.
+func (s *Scheduler) top() *bucket {
+	for len(s.queue) > 0 {
+		b := s.queue[0]
+		if b.next < len(b.items) {
+			return b
+		}
+		s.retire(b)
+	}
+	return nil
+}
+
+// retire removes a fully drained bucket from the queue and the wheel and
+// recycles its storage.
+func (s *Scheduler) retire(b *bucket) {
+	heap.Remove(&s.queue, b.index)
+	delete(s.buckets, b.at)
+	for i := range b.items {
+		b.items[i] = nil
+	}
+	if len(s.free) < 64 {
+		s.free = append(s.free, b)
+	}
+}
+
 // step executes the earliest event. It reports false when the queue is empty.
 func (s *Scheduler) step() bool {
-	for s.queue.Len() > 0 {
-		it := heap.Pop(&s.queue).(*item)
-		if it.stopped {
-			continue
+	for {
+		b := s.top()
+		if b == nil {
+			return false
 		}
-		s.now = it.at
-		fn := it.fn
-		it.fn = nil
-		s.steps++
-		fn()
-		return true
+		for b.next < len(b.items) {
+			it := b.items[b.next]
+			b.items[b.next] = nil
+			b.next++
+			if b.next == len(b.items) {
+				// Retire before running: a callback scheduling at this
+				// same instant must land in a fresh bucket that runs next.
+				s.retire(b)
+			}
+			if it.stopped {
+				continue
+			}
+			s.now = b.at
+			fn := it.fn
+			it.fn = nil
+			s.steps++
+			fn()
+			return true
+		}
 	}
-	return false
 }
 
 // RunUntil executes events in order until virtual time would exceed t or
 // no events remain. The clock is left at min(t, time of last event run)
 // — advanced to t if the queue drains earlier.
 func (s *Scheduler) RunUntil(t time.Duration) {
-	for s.queue.Len() > 0 {
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at > t {
+	for {
+		next, ok := s.peekAt()
+		if !ok || next > t {
 			break
 		}
 		s.step()
@@ -174,16 +246,25 @@ func (s *Scheduler) Drain(maxSteps uint64) bool {
 			return true
 		}
 	}
-	return s.queue.Len() == 0
+	_, ok := s.peekAt()
+	return !ok
 }
 
-func (s *Scheduler) peek() *item {
-	for s.queue.Len() > 0 {
-		it := s.queue[0]
-		if !it.stopped {
-			return it
+// peekAt returns the deadline of the earliest unstopped event. Stopped
+// items at the front of the wheel are discarded on the way (they would
+// be skipped by step anyway).
+func (s *Scheduler) peekAt() (time.Duration, bool) {
+	for {
+		b := s.top()
+		if b == nil {
+			return 0, false
 		}
-		heap.Pop(&s.queue)
+		for b.next < len(b.items) {
+			if !b.items[b.next].stopped {
+				return b.at, true
+			}
+			b.items[b.next] = nil
+			b.next++
+		}
 	}
-	return nil
 }

@@ -122,6 +122,87 @@ func TestNegativeDelay(t *testing.T) {
 	}
 }
 
+func TestSameDeadlineSharesBucket(t *testing.T) {
+	s := NewScheduler()
+	const n = 1000
+	ran := 0
+	for i := 0; i < n; i++ {
+		s.After(5*time.Millisecond, func() { ran++ })
+	}
+	if got := len(s.queue); got != 1 {
+		t.Fatalf("queue holds %d buckets for one deadline, want 1", got)
+	}
+	if got := s.Pending(); got != n {
+		t.Fatalf("Pending = %d, want %d", got, n)
+	}
+	s.RunFor(time.Second)
+	if ran != n {
+		t.Fatalf("ran %d of %d same-deadline events", ran, n)
+	}
+}
+
+func TestRescheduleAtSameInstantRunsAfter(t *testing.T) {
+	// A callback scheduling another event at its own instant (After(0))
+	// must see it run later in the same step sequence, at the same time.
+	s := NewScheduler()
+	var got []int
+	s.After(time.Millisecond, func() {
+		got = append(got, 1)
+		s.After(0, func() { got = append(got, 3) })
+	})
+	s.After(time.Millisecond, func() { got = append(got, 2) })
+	s.RunFor(time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+	if s.Steps() != 3 {
+		t.Fatalf("Steps = %d, want 3", s.Steps())
+	}
+}
+
+func TestStopWithinBucket(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(time.Millisecond, func() { got = append(got, 0) })
+	tm := s.After(time.Millisecond, func() { got = append(got, 1) })
+	s.After(time.Millisecond, func() { got = append(got, 2) })
+	tm.Stop()
+	s.RunFor(time.Second)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("got %v, want [0 2]", got)
+	}
+}
+
+func TestBucketReuseKeepsDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := NewScheduler()
+		var fired []time.Duration
+		var tick func()
+		n := 0
+		tick = func() {
+			fired = append(fired, s.Now())
+			n++
+			if n < 50 {
+				// Alternate between repeating and fresh deadlines so
+				// buckets retire and get recycled mid-run.
+				s.After(time.Duration(n%3)*time.Millisecond, tick)
+			}
+		}
+		s.After(0, tick)
+		s.RunFor(time.Second)
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestPending(t *testing.T) {
 	s := NewScheduler()
 	t1 := s.After(time.Millisecond, func() {})

@@ -301,10 +301,17 @@ func (c *BinaryCodec) KindsHash() string { return c.kindsHash }
 
 // Encode implements Codec.
 func (c *BinaryCodec) Encode(env *Envelope) ([]byte, error) {
-	return c.appendEnvelope(make([]byte, 0, 160), env)
+	return c.appendEnvelope(make([]byte, 0, 160), env, nil)
 }
 
-func (c *BinaryCodec) appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
+// EncodeShared implements SharedEncoder: the message body bytes are taken
+// from (or stored into) s, so a fan-out marshals the payload once and
+// stamps per-destination headers around it.
+func (c *BinaryCodec) EncodeShared(env *Envelope, s *SharedBody) ([]byte, error) {
+	return c.appendEnvelope(make([]byte, 0, 160), env, s)
+}
+
+func (c *BinaryCodec) appendEnvelope(b []byte, env *Envelope, s *SharedBody) ([]byte, error) {
 	var flags byte
 	if env.IsReply {
 		flags |= flagReply
@@ -323,19 +330,37 @@ func (c *BinaryCodec) appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
 			return nil, fmt.Errorf("wire: binary encode: kind %q not in interned table", kind)
 		}
 		kindID = id
-		if bm, ok := env.Msg.(BinaryMessage); ok {
-			// The body needs encoding before the header (its length is
-			// prefixed); a pooled scratch keeps the whole envelope —
-			// including Size-only calls — allocation-free.
-			bodyScratch = c.scratch.Get().(*[]byte)
-			body = bm.AppendWire((*bodyScratch)[:0])
-		} else {
-			xb, err := xml.Marshal(env.Msg)
-			if err != nil {
-				return nil, fmt.Errorf("wire: binary encode %q fallback: %w", kind, err)
+		if s != nil && s.haveBin {
+			body = s.binBody
+			if s.binXML {
+				flags |= flagXMLBody
 			}
-			flags |= flagXMLBody
-			body = xb
+		} else {
+			if bm, ok := env.Msg.(BinaryMessage); ok {
+				if s == nil {
+					// The body needs encoding before the header (its
+					// length is prefixed); a pooled scratch keeps the
+					// whole envelope — including Size-only calls —
+					// allocation-free.
+					bodyScratch = c.scratch.Get().(*[]byte)
+					body = bm.AppendWire((*bodyScratch)[:0])
+				} else {
+					// Cached bodies outlive this call, so they cannot
+					// borrow the scratch pool; the one allocation is
+					// amortised over the whole fan-out.
+					body = bm.AppendWire(nil)
+				}
+			} else {
+				xb, err := xml.Marshal(env.Msg)
+				if err != nil {
+					return nil, fmt.Errorf("wire: binary encode %q fallback: %w", kind, err)
+				}
+				flags |= flagXMLBody
+				body = xb
+			}
+			if s != nil {
+				s.binBody, s.binXML, s.haveBin = body, flags&flagXMLBody != 0, true
+			}
 		}
 	}
 	b = append(b, BinaryMagic, binaryVersion, flags)
@@ -419,7 +444,7 @@ func (c *BinaryCodec) Decode(data []byte) (*Envelope, error) {
 // and only its length escapes.
 func (c *BinaryCodec) Size(env *Envelope) (int, error) {
 	bp := c.scratch.Get().(*[]byte)
-	b, err := c.appendEnvelope((*bp)[:0], env)
+	b, err := c.appendEnvelope((*bp)[:0], env, nil)
 	n := len(b)
 	*bp = b[:0]
 	c.scratch.Put(bp)

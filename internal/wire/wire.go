@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 
 	"github.com/gloss/active/internal/ids"
 )
@@ -36,9 +37,13 @@ type Envelope struct {
 }
 
 // Registry maps message kinds to concrete Go types for decoding.
-// The zero value is not usable; construct with NewRegistry. Register all
-// message types before concurrent use; lookups are read-only afterwards.
+// The zero value is not usable; construct with NewRegistry. Registration
+// is normally completed at wiring time, but the registry tolerates
+// runtime Register calls (dynamic bundle types) concurrent with decoding
+// — transport nodes then rebuild their binary codec and re-advertise the
+// new kinds hash (see transport.Node.RefreshRegistry).
 type Registry struct {
+	mu    sync.RWMutex
 	types map[string]reflect.Type
 }
 
@@ -56,6 +61,8 @@ func (r *Registry) Register(prototype Message) {
 	if t.Kind() == reflect.Ptr {
 		t = t.Elem()
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if prev, ok := r.types[kind]; ok {
 		if prev != t {
 			panic(fmt.Sprintf("wire: kind %q registered twice with different types (%v, %v)", kind, prev, t))
@@ -67,17 +74,21 @@ func (r *Registry) Register(prototype Message) {
 
 // Kinds returns all registered kinds, sorted.
 func (r *Registry) Kinds() []string {
+	r.mu.RLock()
 	out := make([]string, 0, len(r.types))
 	for k := range r.types {
 		out = append(out, k)
 	}
+	r.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // New instantiates a fresh message value for kind.
 func (r *Registry) New(kind string) (Message, error) {
+	r.mu.RLock()
 	t, ok := r.types[kind]
+	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("wire: unknown message kind %q", kind)
 	}
@@ -103,17 +114,61 @@ type xmlEnvelope struct {
 	Body    []byte   `xml:",innerxml"`
 }
 
+// SharedBody caches one message's encoded body so an envelope fanning
+// out to many destinations pays the body encoding once per codec
+// ("encode once, send many"): per-envelope header fields (From, To,
+// CorrID) are still written fresh per frame, only the payload bytes are
+// reused. A SharedBody is valid for exactly one Message value — reusing
+// it across different messages is a caller bug. The zero value is ready.
+// Not safe for concurrent use.
+type SharedBody struct {
+	xmlBody []byte
+	haveXML bool
+	binBody []byte
+	binXML  bool // binBody holds the XML fallback form
+	haveBin bool
+}
+
+// SharedEncoder is implemented by codecs that can amortise body encoding
+// across a fan-out through a SharedBody cache. Both built-in codecs do;
+// transport falls back to plain Encode for codecs that don't.
+type SharedEncoder interface {
+	Codec
+	// EncodeShared is Encode with the message body cached in s.
+	// A nil s behaves exactly like Encode.
+	EncodeShared(env *Envelope, s *SharedBody) ([]byte, error)
+}
+
+var (
+	_ SharedEncoder = (*Registry)(nil)
+	_ SharedEncoder = (*BinaryCodec)(nil)
+)
+
 // Encode serialises an envelope to XML bytes.
 func (r *Registry) Encode(env *Envelope) ([]byte, error) {
+	return r.EncodeShared(env, nil)
+}
+
+// EncodeShared implements SharedEncoder: the marshalled message body is
+// taken from (or stored into) s, so only the envelope wrapper is built
+// per destination.
+func (r *Registry) EncodeShared(env *Envelope, s *SharedBody) ([]byte, error) {
 	var body []byte
 	var kind string
 	if env.Msg != nil {
 		kind = env.Msg.Kind()
-		b, err := xml.Marshal(env.Msg)
-		if err != nil {
-			return nil, fmt.Errorf("wire: encode %q: %w", kind, err)
+		if s != nil && s.haveXML {
+			body = s.xmlBody
+		} else {
+			b, err := xml.Marshal(env.Msg)
+			if err != nil {
+				return nil, fmt.Errorf("wire: encode %q: %w", kind, err)
+			}
+			body = b
+			if s != nil {
+				s.xmlBody, s.haveXML = b, true
+			}
 		}
-		body = b
 	}
 	xe := xmlEnvelope{
 		From:    env.From.String(),
