@@ -143,6 +143,14 @@ func BenchmarkE_T12_FanoutHotPath(b *testing.B) {
 	}
 }
 
+func BenchmarkE_T13_Backpressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T13Backpressure(true)
+		report(b, tab, 0, 3, "sim-smallest-budget-drop-pct") // must stay > 0: budget engaged
+		report(b, tab, 7, 3, "tcp-largest-budget-drop-pct")  // should stay ~0: budget absorbs the burst
+	}
+}
+
 // --- micro-benchmarks of hot paths ------------------------------------------
 
 // BenchmarkBrokerPublishWorld measures the full per-publish path through

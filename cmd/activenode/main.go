@@ -45,6 +45,8 @@ func run() error {
 		bootstrap = flag.String("bootstrap", "", "bootstrap peer as <id-hex>@<host:port>; empty creates a new overlay")
 		secret    = flag.String("secret", "gloss-active-secret", "capability secret shared by the deployment")
 		codec     = flag.String("codec", wire.CodecXML, "preferred wire codec: xml (open interop format) or binary (compact fast path, used only between nodes that both opt in)")
+		outboxHi  = flag.Int("outbox-high", 0, "per-peer send-queue byte budget; sends above it are dropped (0 = 1 MiB default)")
+		outboxLo  = flag.Int("outbox-low", 0, "backpressure-relief watermark in bytes (0 = half of -outbox-high)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
@@ -71,12 +73,14 @@ func run() error {
 	gateway.RegisterMessages(reg)
 
 	ep, err := transport.Listen(id, reg, transport.Options{
-		Listen: *listen,
-		Region: *region,
-		Coord:  netapi.Coord{X: *x, Y: *y},
-		Seed:   time.Now().UnixNano(),
-		Codec:  *codec,
-		Logger: logger,
+		Listen:          *listen,
+		Region:          *region,
+		Coord:           netapi.Coord{X: *x, Y: *y},
+		Seed:            time.Now().UnixNano(),
+		Codec:           *codec,
+		OutboxHighWater: *outboxHi,
+		OutboxLowWater:  *outboxLo,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err

@@ -49,6 +49,7 @@ func main() {
 		{"E-T10", exp.T10Discovery},
 		{"E-T11", exp.T11WireFormat},
 		{"E-T12", exp.T12FanoutHotPath},
+		{"E-T13", exp.T13Backpressure},
 	}
 	ran := 0
 	for _, r := range runners {

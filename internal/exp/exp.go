@@ -132,5 +132,6 @@ func All(quick bool) []*Table {
 		T10Discovery(quick),
 		T11WireFormat(quick),
 		T12FanoutHotPath(quick),
+		T13Backpressure(quick),
 	}
 }

@@ -108,3 +108,30 @@ func SendMany(ep Endpoint, tos []ids.ID, msg wire.Message) {
 		ep.Send(to, msg)
 	}
 }
+
+// Backpressured is optionally implemented by endpoints whose send path
+// can saturate: the TCP transport's byte-budgeted per-peer outboxes and
+// the simulator's in-flight budget mirror. It surfaces overload to
+// protocol code so it can shed its lowest-value work (the pub/sub
+// broker drops per-subscriber deliveries toward saturated destinations)
+// instead of letting the transport drop blindly.
+//
+// Callback discipline applies: these methods may only be called from
+// protocol code running on the endpoint's callback goroutine (the
+// actor loop under TCP, the world loop under simnet), and OnDrain
+// callbacks are invoked there too.
+type Backpressured interface {
+	// QueuedBytes is the backpressure gauge: payload bytes currently
+	// queued (including frames mid-write) toward to. Zero for unknown
+	// or idle destinations. Without a sizing codec the simulator counts
+	// one byte per message, making the gauge a message count.
+	QueuedBytes(to ids.ID) int
+	// Saturated reports whether the send queue toward to has crossed
+	// its high watermark and not yet drained back to its low one — the
+	// hysteresis window in which new non-control sends are dropped.
+	Saturated(to ids.ID) bool
+	// OnDrain registers fn, invoked each time a destination's queue
+	// falls back to its low watermark after having been saturated
+	// ("below the low watermark again" — safe to resume fan-out).
+	OnDrain(fn func(to ids.ID))
+}

@@ -35,6 +35,16 @@ type Options struct {
 	// delivery; the clone path exists for the clone-vs-borrow
 	// differential tests and the E-T12 ablation.
 	CloneFanout bool
+	// DisableShedding turns off backpressure-aware fan-out shedding.
+	// By default, when the endpoint reports send-queue saturation
+	// (netapi.Backpressured), the broker drops per-subscriber
+	// deliveries toward saturated destinations — the lowest-value work
+	// first: a shed DeliverMsg loses one event for one subscriber,
+	// while neighbour forwards serve whole subtrees and control
+	// messages steer all future routing, so neither is shed here (and
+	// control frames are additionally exempt from budget drops at the
+	// transport). Stats.ShedDeliveries counts sheds.
+	DisableShedding bool
 }
 
 func (o *Options) applyDefaults() {
@@ -76,11 +86,20 @@ type Stats struct {
 	// the borrow path, one per delivery with Options.CloneFanout. The
 	// fan-out benchmarks report this per delivery to prove zero-copy.
 	EventClones uint64
+	// ShedDeliveries counts per-subscriber deliveries dropped because
+	// the endpoint reported the destination's send queue saturated
+	// (netapi.Backpressured) — fan-out shed at the broker instead of
+	// overflowing the transport outbox.
+	ShedDeliveries uint64
+	// DrainEvents counts overload episodes that ended: a destination
+	// the broker had shed toward drained back below its low watermark.
+	DrainEvents uint64
 }
 
 // Broker is one node of the content-based event service.
 type Broker struct {
 	ep        netapi.Endpoint
+	bp        netapi.Backpressured // non-nil when shedding is active
 	opts      Options
 	neighbors map[ids.ID]bool
 	nborOrder []ids.ID // sorted, for deterministic iteration
@@ -90,6 +109,7 @@ type Broker struct {
 	forwarded map[ids.ID]map[string]Filter
 	adverts   map[string]*advEntry
 	proxies   map[ids.ID]*proxy
+	shedTo    map[ids.ID]struct{} // destinations with an open shed episode
 	stats     Stats
 }
 
@@ -105,6 +125,13 @@ func NewBroker(ep netapi.Endpoint, opts Options) *Broker {
 		forwarded: make(map[ids.ID]map[string]Filter),
 		adverts:   make(map[string]*advEntry),
 		proxies:   make(map[ids.ID]*proxy),
+		shedTo:    make(map[ids.ID]struct{}),
+	}
+	if !opts.DisableShedding {
+		if bp, ok := ep.(netapi.Backpressured); ok {
+			b.bp = bp
+			bp.OnDrain(b.onDrain)
+		}
 	}
 	ep.Handle("pubsub.sub", b.handleSub)
 	ep.Handle("pubsub.unsub", b.handleUnsub)
@@ -502,6 +529,17 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 			p.buf = append(p.buf, b.fanoutEvent(ev))
 			continue
 		}
+		// Shed the lowest-value fan-out work first: a delivery toward a
+		// saturated subscriber link is dropped here, before the encode,
+		// rather than overflowing the transport outbox. Forwards to
+		// neighbour brokers (above) are never shed — they serve whole
+		// subtrees, and shedding would starve every subscriber behind
+		// them for one congested hop.
+		if b.bp != nil && b.bp.Saturated(d) {
+			b.stats.ShedDeliveries++
+			b.shedTo[d] = struct{}{}
+			continue
+		}
 		b.stats.ClientDelivers++
 		delivers = append(delivers, d)
 	}
@@ -520,6 +558,16 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	}
 	if len(delivers) > 0 {
 		netapi.SendMany(b.ep, delivers, &DeliverMsg{Event: ev})
+	}
+}
+
+// onDrain is the endpoint's below-the-low-watermark-again signal: the
+// destination can absorb fan-out again. A shed episode toward it is
+// finalised into DrainEvents so overload episodes are countable.
+func (b *Broker) onDrain(to ids.ID) {
+	if _, shed := b.shedTo[to]; shed {
+		delete(b.shedTo, to)
+		b.stats.DrainEvents++
 	}
 }
 

@@ -85,6 +85,34 @@ type ReclaimReply struct {
 // Kind implements wire.Message.
 func (ReclaimReply) Kind() string { return "pubsub.reclaimReply" }
 
+// The subscription-state and topology messages are control-plane
+// traffic (wire.ControlMessage): budgeted send queues shed event
+// fan-out (PubMsg/DeliverMsg) before the routing state that steers it,
+// since a lost sub/unsub/adv silently mis-routes every later event
+// while a lost event loses only itself. ReclaimReply is excluded — it
+// carries the buffered events themselves.
+
+// Control implements wire.ControlMessage.
+func (SubMsg) Control() bool { return true }
+
+// Control implements wire.ControlMessage.
+func (UnsubMsg) Control() bool { return true }
+
+// Control implements wire.ControlMessage.
+func (AdvMsg) Control() bool { return true }
+
+// Control implements wire.ControlMessage.
+func (UnadvMsg) Control() bool { return true }
+
+// Control implements wire.ControlMessage.
+func (PeerMsg) Control() bool { return true }
+
+// Control implements wire.ControlMessage.
+func (DetachMsg) Control() bool { return true }
+
+// Control implements wire.ControlMessage.
+func (ReclaimMsg) Control() bool { return true }
+
 // RegisterMessages records all pub/sub message types in a wire registry.
 func RegisterMessages(r *wire.Registry) {
 	r.Register(&SubMsg{})

@@ -1,0 +1,143 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/wire"
+)
+
+// ctlPing is a control-marked message (wire.ControlMessage) for the
+// budget-exemption tests.
+type ctlPing struct {
+	N int `xml:"n"`
+}
+
+func (ctlPing) Kind() string  { return "test.ctlping" }
+func (ctlPing) Control() bool { return true }
+
+// TestOutboxBudgetMirror: without a codec each message counts one byte,
+// so OutboxHighWater=3 admits three in-flight messages per destination
+// and drops the rest with the overflow reason, mirroring the transport.
+func TestOutboxBudgetMirror(t *testing.T) {
+	w, a, b := twoNodeWorld(t, Config{Seed: 1, DisableJitter: true,
+		OutboxHighWater: 3, OutboxLowWater: 1})
+	delivered := 0
+	b.Handle("test.ping", func(netapi.Ctx, ids.ID, wire.Message) { delivered++ })
+
+	var drains []ids.ID
+	a.OnDrain(func(to ids.ID) { drains = append(drains, to) })
+
+	for i := 0; i < 6; i++ {
+		a.Send(b.ID(), &ping{N: i})
+	}
+	if got := a.QueuedBytes(b.ID()); got != 3 {
+		t.Fatalf("QueuedBytes = %d, want 3 (budget admits 3 in flight)", got)
+	}
+	if !a.Saturated(b.ID()) {
+		t.Fatal("Saturated must latch at the high watermark")
+	}
+	m := w.Metrics()
+	if m.DroppedOverflow != 3 || m.Dropped != 3 {
+		t.Fatalf("DroppedOverflow = %d, Dropped = %d, want 3, 3", m.DroppedOverflow, m.Dropped)
+	}
+
+	// Control messages bypass the budget even while saturated.
+	a.Send(b.ID(), &ctlPing{N: 99})
+	if got := w.Metrics().DroppedOverflow; got != 3 {
+		t.Fatalf("control message was budget-dropped (overflow now %d)", got)
+	}
+	ctlDelivered := false
+	b.Handle("test.ctlping", func(netapi.Ctx, ids.ID, wire.Message) { ctlDelivered = true })
+
+	// Delivery releases the budget: the saturation clears, the drain
+	// callback fires for the destination, and new sends are admitted.
+	w.RunFor(time.Second)
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3", delivered)
+	}
+	if !ctlDelivered {
+		t.Fatal("control message never delivered")
+	}
+	if a.Saturated(b.ID()) {
+		t.Fatal("saturation must clear once in-flight bytes drain below the low watermark")
+	}
+	if a.QueuedBytes(b.ID()) != 0 {
+		t.Fatalf("QueuedBytes = %d after delivery, want 0", a.QueuedBytes(b.ID()))
+	}
+	if len(drains) == 0 || drains[0] != b.ID() {
+		t.Fatalf("drain callbacks = %v, want at least one for %v", drains, b.ID())
+	}
+	a.Send(b.ID(), &ping{N: 100})
+	w.RunFor(time.Second)
+	if delivered != 4 {
+		t.Fatalf("post-drain send not delivered (delivered = %d)", delivered)
+	}
+}
+
+// TestOutboxBudgetByteSized: with a codec installed the budget counts
+// real encoded bytes, the same quantity Metrics.Bytes accounts.
+func TestOutboxBudgetByteSized(t *testing.T) {
+	reg := wire.NewRegistry()
+	reg.Register(&ping{})
+	// One ping envelope is ~100+ bytes of XML; budget two of them.
+	probe := NewWorld(Config{Seed: 1, Codec: reg})
+	pa := probe.NewNode(ids.FromString("pa"), "eu", netapi.Coord{})
+	pb := probe.NewNode(ids.FromString("pb"), "eu", netapi.Coord{X: 1})
+	pa.Send(pb.ID(), &ping{N: 1})
+	one := int(probe.Metrics().Bytes)
+	if one == 0 {
+		t.Fatal("probe world accounted no bytes")
+	}
+
+	w := NewWorld(Config{Seed: 1, Codec: reg, DisableJitter: true,
+		OutboxHighWater: 2*one + 1})
+	a := w.NewNode(ids.FromString("a"), "eu", netapi.Coord{})
+	b := w.NewNode(ids.FromString("b"), "eu", netapi.Coord{X: 1})
+	for i := 0; i < 4; i++ {
+		a.Send(b.ID(), &ping{N: i})
+	}
+	if got := a.QueuedBytes(b.ID()); got != 3*one {
+		// Two fit strictly below the watermark; the third crosses it
+		// (sends are accepted while queued bytes are below high).
+		t.Fatalf("QueuedBytes = %d, want %d (3 envelopes of %d bytes)", got, 3*one, one)
+	}
+	if got := w.Metrics().DroppedOverflow; got != 1 {
+		t.Fatalf("DroppedOverflow = %d, want 1", got)
+	}
+}
+
+// TestOutboxBudgetPerDestination: saturation toward one destination
+// must not throttle traffic toward another — the budget is per link,
+// as on the transport.
+func TestOutboxBudgetPerDestination(t *testing.T) {
+	w := NewWorld(Config{Seed: 1, DisableJitter: true,
+		OutboxHighWater: 2, OutboxLowWater: 1})
+	a := w.NewNode(ids.FromString("a"), "eu", netapi.Coord{})
+	b := w.NewNode(ids.FromString("b"), "eu", netapi.Coord{X: 1})
+	c := w.NewNode(ids.FromString("c"), "eu", netapi.Coord{X: 2})
+	got := map[string]int{}
+	count := func(netapi.Ctx, ids.ID, wire.Message) { got["n"]++ }
+	b.Handle("test.ping", count)
+	c.Handle("test.ping", count)
+
+	for i := 0; i < 5; i++ {
+		a.Send(b.ID(), &ping{N: i})
+	}
+	if !a.Saturated(b.ID()) {
+		t.Fatal("link a→b must saturate")
+	}
+	if a.Saturated(c.ID()) {
+		t.Fatal("link a→c must not inherit a→b's saturation")
+	}
+	a.Send(c.ID(), &ping{N: 9})
+	if w.Metrics().DroppedOverflow != 3 {
+		t.Fatalf("DroppedOverflow = %d, want 3 (only the a→b excess)", w.Metrics().DroppedOverflow)
+	}
+	w.RunFor(time.Second)
+	if got["n"] != 3 {
+		t.Fatalf("delivered %d, want 3 (2 to b, 1 to c)", got["n"])
+	}
+}

@@ -51,6 +51,21 @@ type Config struct {
 	// tallies and byte sizing — for hot benchmark runs where even map
 	// increments per message matter. Metrics then stays zero.
 	DisableMetrics bool
+	// OutboxHighWater mirrors transport.Options.OutboxHighWater: a
+	// per-sender, per-destination byte budget on in-flight messages.
+	// Non-control sends toward a destination already holding that many
+	// in-flight bytes are dropped (Metrics.DroppedOverflow); control
+	// messages (wire.ControlMessage) are exempt. 0 disables budgeting
+	// (the default). Sizing uses Config.Codec when installed; without
+	// one every message counts one byte, making the budget a message
+	// count. Budgeting is semantics, not accounting — it stays active
+	// under DisableMetrics.
+	OutboxHighWater int
+	// OutboxLowWater is the relief threshold mirroring the transport:
+	// when a saturated in-flight queue drains back to it, the
+	// netapi.Backpressured drain callbacks fire. Default
+	// OutboxHighWater/2.
+	OutboxLowWater int
 }
 
 func (c *Config) applyDefaults() {
@@ -63,16 +78,24 @@ func (c *Config) applyDefaults() {
 	if c.Jitter == 0 {
 		c.Jitter = 200 * time.Microsecond
 	}
+	if c.OutboxHighWater > 0 && c.OutboxLowWater == 0 {
+		c.OutboxLowWater = c.OutboxHighWater / 2
+	}
 }
 
 // Metrics aggregates world-level traffic counters.
 type Metrics struct {
 	Sent      uint64
 	Delivered uint64
-	Dropped   uint64 // loss, dead destination, or filtered link
-	Bytes     uint64 // only counted when a codec is installed (Config.Codec or SetCodec)
-	ByKind    map[string]uint64
-	Unhandled uint64
+	Dropped   uint64 // loss, dead destination, filtered link, or outbox overflow
+	// DroppedOverflow counts messages dropped by the byte-budget mirror
+	// (Config.OutboxHighWater) — a subset of Dropped, split out so
+	// E-table drop rates are attributable, mirroring the transport's
+	// Stats.DroppedOverflow.
+	DroppedOverflow uint64
+	Bytes           uint64 // only counted when a codec is installed (Config.Codec or SetCodec)
+	ByKind          map[string]uint64
+	Unhandled       uint64
 	// FlushEvents counts scheduler delivery events: messages bound for
 	// the same destination at the same instant share one (the simulation
 	// mirror of the TCP transport's Stats.FlushWrites). Sent/Delivered
@@ -112,14 +135,22 @@ type batchKey struct {
 }
 
 // delivBatch accumulates the envelopes of one coalesced delivery, in
-// send order.
+// send order. sizes carries each envelope's accounted bytes, populated
+// only when the outbox budget is enabled (release needs them back).
 type delivBatch struct {
-	envs []*wire.Envelope
+	envs  []*wire.Envelope
+	sizes []int
 }
 
-// NewWorld constructs an empty world.
+// NewWorld constructs an empty world. It panics on an inverted outbox
+// budget (low watermark above high), matching transport.Listen's
+// rejection of the same misconfiguration.
 func NewWorld(cfg Config) *World {
 	cfg.applyDefaults()
+	if cfg.OutboxLowWater > cfg.OutboxHighWater {
+		panic(fmt.Sprintf("simnet: OutboxLowWater %d exceeds OutboxHighWater %d",
+			cfg.OutboxLowWater, cfg.OutboxHighWater))
+	}
 	return &World{
 		cfg:   cfg,
 		codec: normalizeCodec(cfg.Codec),
@@ -213,9 +244,19 @@ type Node struct {
 	pending  map[uint64]*pendingReq
 	nextCorr uint64
 	clock    *nodeClock
+	// Outbox-budget mirror state (Config.OutboxHighWater): bytes in
+	// flight per destination, the saturation latch, and the registered
+	// drain callbacks — the simulation counterpart of the transport's
+	// per-peer outbox.
+	outBytes map[ids.ID]int
+	outOver  map[ids.ID]bool
+	drainFns []func(ids.ID)
 }
 
-var _ netapi.Endpoint = (*Node)(nil)
+var (
+	_ netapi.Endpoint      = (*Node)(nil)
+	_ netapi.Backpressured = (*Node)(nil)
+)
 
 type pendingReq struct {
 	cb    netapi.ReplyFunc
@@ -235,6 +276,8 @@ func (w *World) NewNode(id ids.ID, region string, coord netapi.Coord) *Node {
 		alive:    true,
 		handlers: make(map[string]netapi.Handler),
 		pending:  make(map[uint64]*pendingReq),
+		outBytes: make(map[ids.ID]int),
+		outOver:  make(map[ids.ID]bool),
 	}
 	n.clock = &nodeClock{node: n}
 	w.nodes[id] = n
@@ -280,6 +323,19 @@ func (n *Node) Revive() { n.alive = true }
 // Handle implements netapi.Endpoint.
 func (n *Node) Handle(kind string, h netapi.Handler) { n.handlers[kind] = h }
 
+// QueuedBytes implements netapi.Backpressured: bytes this node has in
+// flight toward to (messages per Config's sizing rules when no codec is
+// installed). Always zero with budgeting disabled.
+func (n *Node) QueuedBytes(to ids.ID) int { return n.outBytes[to] }
+
+// Saturated implements netapi.Backpressured: the in-flight queue toward
+// to crossed Config.OutboxHighWater and has not yet drained back to
+// OutboxLowWater.
+func (n *Node) Saturated(to ids.ID) bool { return n.outOver[to] }
+
+// OnDrain implements netapi.Backpressured; fn runs on the world loop.
+func (n *Node) OnDrain(fn func(to ids.ID)) { n.drainFns = append(n.drainFns, fn) }
+
 // Send implements netapi.Endpoint.
 func (n *Node) Send(to ids.ID, msg wire.Message) {
 	env := &wire.Envelope{From: n.info.ID, To: to, Msg: msg}
@@ -316,23 +372,45 @@ func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb ne
 
 // transmit queues env for delivery after the modelled latency.
 func (w *World) transmit(from *Node, env *wire.Envelope) {
+	// One Size pass serves both byte metrics and the outbox budget.
+	budget := w.cfg.OutboxHighWater > 0
+	size, sized := 0, false
+	if w.codec != nil && (budget || (!w.cfg.DisableMetrics && env.Msg != nil)) {
+		if sz, err := w.codec.Size(env); err == nil {
+			// Codec.Size is a single pass over the message (the binary
+			// codec counts through a pooled scratch buffer — no throwaway
+			// XML document).
+			size, sized = sz, true
+		}
+	}
+	if budget && !sized {
+		// No codec (or unsizable): one byte per message, so the budget
+		// degrades to a message count.
+		size = 1
+	}
 	if !w.cfg.DisableMetrics {
 		w.metrics.Sent++
 		if env.Msg != nil {
 			w.metrics.ByKind[env.Msg.Kind()]++
-			// Byte accounting is skipped entirely without a codec; with
-			// one, Codec.Size is a single pass over the message (the
-			// binary codec counts through a pooled scratch buffer — no
-			// throwaway XML document).
-			if w.codec != nil {
-				if sz, err := w.codec.Size(env); err == nil {
-					w.metrics.Bytes += uint64(sz)
-				}
+			// Byte accounting is skipped entirely without a codec.
+			if sized {
+				w.metrics.Bytes += uint64(size)
 			}
 		}
 	}
 	if !from.alive {
 		w.drop()
+		return
+	}
+	// Outbox-budget mirror: the sender-side gate sits before the wire
+	// effects (loss, partition), exactly where the transport's outbox
+	// drops. Control messages are exempt, as on the transport.
+	if budget && !wire.Control(env.Msg) && from.outBytes[env.To] >= w.cfg.OutboxHighWater {
+		from.outOver[env.To] = true
+		if !w.cfg.DisableMetrics {
+			w.metrics.Dropped++
+			w.metrics.DroppedOverflow++
+		}
 		return
 	}
 	if w.filter != nil && !w.filter(env.From, env.To) {
@@ -348,8 +426,38 @@ func (w *World) transmit(from *Node, env *wire.Envelope) {
 		w.drop()
 		return
 	}
+	if budget {
+		from.outBytes[env.To] += size
+		if from.outBytes[env.To] >= w.cfg.OutboxHighWater {
+			from.outOver[env.To] = true
+		}
+	}
 	lat := w.latency(from.info.Coord, dest.info.Coord)
-	w.enqueue(dest, env, lat)
+	w.enqueue(dest, env, size, lat)
+}
+
+// releaseOut retires a landed message from its sender's in-flight
+// budget and fires the drain callbacks when the queue falls back to the
+// low watermark after saturation — the mirror of the transport outbox's
+// release.
+func (w *World) releaseOut(env *wire.Envelope, size int) {
+	sender, ok := w.nodes[env.From]
+	if !ok {
+		return
+	}
+	left := sender.outBytes[env.To] - size
+	if left > 0 {
+		sender.outBytes[env.To] = left
+	} else {
+		delete(sender.outBytes, env.To)
+		left = 0
+	}
+	if sender.outOver[env.To] && left <= w.cfg.OutboxLowWater {
+		delete(sender.outOver, env.To)
+		for _, fn := range sender.drainFns {
+			fn(env.To)
+		}
+	}
 }
 
 // enqueue schedules env for delivery lat from now. Messages landing at
@@ -365,23 +473,36 @@ func (w *World) transmit(from *Node, env *wire.Envelope) {
 // same-instant collision with interleaved destinations — impossible
 // under default jitter in practice, and an accepted trade under
 // DisableJitter where batching is the point.
-func (w *World) enqueue(dest *Node, env *wire.Envelope, lat time.Duration) {
+func (w *World) enqueue(dest *Node, env *wire.Envelope, size int, lat time.Duration) {
+	budget := w.cfg.OutboxHighWater > 0
 	key := batchKey{to: env.To, at: w.sched.Now() + lat}
 	if b, ok := w.batches[key]; ok {
 		b.envs = append(b.envs, env)
+		if budget {
+			b.sizes = append(b.sizes, size)
+		}
 		if !w.cfg.DisableMetrics {
 			w.metrics.BatchedMsgs++
 		}
 		return
 	}
 	b := &delivBatch{envs: []*wire.Envelope{env}}
+	if budget {
+		b.sizes = []int{size}
+	}
 	w.batches[key] = b
 	w.sched.After(lat, func() {
 		delete(w.batches, key)
 		if !w.cfg.DisableMetrics {
 			w.metrics.FlushEvents++
 		}
-		for _, e := range b.envs {
+		for i, e := range b.envs {
+			// The budget releases on landing whether or not the
+			// destination is still alive — the sender-side queue emptied
+			// either way.
+			if budget {
+				w.releaseOut(e, b.sizes[i])
+			}
 			w.deliver(dest, e)
 		}
 	})

@@ -1,0 +1,177 @@
+package transport
+
+import "sync"
+
+// outbox is one peer's pending-frame queue: a byte-budgeted deque with
+// high/low watermarks replacing the old fixed 256-frame channel. Frames
+// vary from ~40 B binary events to multi-KiB XML fallbacks, so a frame
+// count bounded the real queued memory only to within ~100x; bytes are
+// what a link class can absorb, so bytes are what the budget counts.
+//
+// Semantics:
+//
+//   - A non-control push is accepted iff queued bytes are strictly below
+//     the high watermark (so one frame may overshoot it, and a frame
+//     larger than the whole budget still sends on an empty queue).
+//   - Control frames (hellos, subscription state — wire.ControlMessage)
+//     are exempt from the budget and refused only at an absolute hard
+//     cap, so a saturated link cannot lose the traffic that would let it
+//     recover. The hard cap bounds memory if the link is truly wedged.
+//   - Crossing the high watermark latches the outbox "over"; draining
+//     back to the low watermark clears it and reports a drain event.
+//     The hysteresis window is what Saturated exposes to protocol code.
+//   - With frameCap > 0 (Options.LegacyOutbox) non-control pushes use
+//     the original frame-count bound instead — the reference path the
+//     byte budget is compared against in E-T13. The watermark signal
+//     stays inactive on this path (the original code had none): the
+//     byte low watermark would sit far above 256 small frames and make
+//     Saturated/drain oscillate per flush.
+//
+// The mutex is shared by the actor loop (push, drop) and the peer's
+// writer goroutine (take, release); all sections are O(batch) or O(1).
+type outbox struct {
+	mu     sync.Mutex
+	frames [][]byte
+	// bytes counts queued plus in-flight payload: take moves frames out
+	// of the queue but their bytes stay counted until release, so the
+	// gauge covers frames being written, not just frames waiting.
+	bytes    int
+	high     int
+	low      int
+	hard     int // absolute bound, control frames included
+	frameCap int // >0: legacy frame-count bound for non-control pushes
+	over     bool
+	// notify wakes the writer goroutine; capacity 1, a token means
+	// "frames may be queued".
+	notify chan struct{}
+}
+
+func newOutbox(high, low, frameCap int) *outbox {
+	return &outbox{
+		high:     high,
+		low:      low,
+		hard:     2 * high,
+		frameCap: frameCap,
+		notify:   make(chan struct{}, 1),
+	}
+}
+
+// push queues one encoded frame, reporting whether it was accepted.
+// Rejections are budget drops: the caller counts them by reason.
+func (ox *outbox) push(frame []byte, control bool) bool {
+	ox.mu.Lock()
+	var accept bool
+	switch {
+	case control && ox.frameCap > 0:
+		// Legacy mode measures in frames, so the control hard cap must
+		// too — a byte cap could refuse a small hello while large data
+		// frames still fit under the frame cap, dropping control before
+		// data.
+		accept = len(ox.frames) < 2*ox.frameCap
+	case control:
+		accept = ox.bytes < ox.hard
+	case ox.frameCap > 0:
+		accept = len(ox.frames) < ox.frameCap
+	default:
+		accept = ox.bytes < ox.high
+	}
+	if !accept {
+		if ox.frameCap == 0 {
+			ox.over = true
+		}
+		ox.mu.Unlock()
+		return false
+	}
+	ox.frames = append(ox.frames, frame)
+	ox.bytes += len(frame)
+	if ox.frameCap == 0 && ox.bytes >= ox.high {
+		ox.over = true
+	}
+	ox.mu.Unlock()
+	select {
+	case ox.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// take removes queued frames into buf (reused across flushes) up to max
+// payload bytes — always at least one frame, so an oversized frame still
+// drains. The removed bytes stay counted until the matching release.
+func (ox *outbox) take(buf [][]byte, max int) ([][]byte, int) {
+	ox.mu.Lock()
+	defer ox.mu.Unlock()
+	if len(ox.frames) == 0 {
+		return buf, 0
+	}
+	total, i := 0, 0
+	for ; i < len(ox.frames); i++ {
+		if i > 0 && total+len(ox.frames[i]) > max {
+			break
+		}
+		total += len(ox.frames[i])
+	}
+	buf = append(buf, ox.frames[:i]...)
+	rest := copy(ox.frames, ox.frames[i:])
+	for j := rest; j < len(ox.frames); j++ {
+		ox.frames[j] = nil
+	}
+	ox.frames = ox.frames[:rest]
+	return buf, total
+}
+
+// release retires nbytes handed to the connection (written or lost with
+// it) and reports whether the queue just drained back to the low
+// watermark after having been over the high one — the caller then fires
+// the backpressure-relief callbacks.
+func (ox *outbox) release(nbytes int) (drained bool) {
+	ox.mu.Lock()
+	ox.bytes -= nbytes
+	if ox.over && ox.bytes <= ox.low {
+		ox.over = false
+		drained = true
+	}
+	ox.mu.Unlock()
+	return drained
+}
+
+// dropAll discards every queued frame (redial attempts exhausted),
+// returning how many were dropped and whether that constituted a drain.
+func (ox *outbox) dropAll() (dropped int, drained bool) {
+	ox.mu.Lock()
+	dropped = len(ox.frames)
+	for i := range ox.frames {
+		ox.bytes -= len(ox.frames[i])
+		ox.frames[i] = nil
+	}
+	ox.frames = ox.frames[:0]
+	if ox.over && ox.bytes <= ox.low {
+		ox.over = false
+		drained = true
+	}
+	ox.mu.Unlock()
+	return dropped, drained
+}
+
+// queuedBytes is the backpressure gauge: queued plus in-flight payload.
+func (ox *outbox) queuedBytes() int {
+	ox.mu.Lock()
+	defer ox.mu.Unlock()
+	return ox.bytes
+}
+
+// pendingFrames counts frames waiting in the queue (excluding any batch
+// currently being written).
+func (ox *outbox) pendingFrames() int {
+	ox.mu.Lock()
+	defer ox.mu.Unlock()
+	return len(ox.frames)
+}
+
+// saturated reports the hysteresis state: latched at the high watermark,
+// cleared at the low one.
+func (ox *outbox) saturated() bool {
+	ox.mu.Lock()
+	defer ox.mu.Unlock()
+	return ox.over
+}

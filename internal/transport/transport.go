@@ -35,9 +35,10 @@ import (
 // maxFrame bounds a single message frame (16 MiB).
 const maxFrame = 16 << 20
 
-// outboxSize bounds per-peer queued frames; excess is dropped (the
-// protocols tolerate loss).
-const outboxSize = 256
+// legacyOutboxFrames is the original fixed per-peer queue bound in
+// frames, kept as the Options.LegacyOutbox reference path; the default
+// outbox is byte-budgeted instead (Options.OutboxHighWater).
+const legacyOutboxFrames = 256
 
 // flushWatermark bounds the payload bytes coalesced into one flush, so a
 // queue of large frames cannot grow an unbounded writev batch.
@@ -70,6 +71,12 @@ type HelloPeer struct {
 // Kind implements wire.Message.
 func (HelloMsg) Kind() string { return "transport.hello" }
 
+// Control marks hellos as control-plane traffic (wire.ControlMessage):
+// capability knowledge is updated only by hellos, so a budget-dropped
+// one would strand a peer on a stale kinds hash until reconnect. The
+// outbox therefore never drops hellos for watermark overflow.
+func (HelloMsg) Control() bool { return true }
+
 // RegisterMessages records transport message types in a wire registry.
 func RegisterMessages(r *wire.Registry) { r.Register(&HelloMsg{}) }
 
@@ -95,6 +102,37 @@ type Options struct {
 	// frames into a single writev batch. Kept for the batching ablation
 	// in E-T12 and the differential transport tests.
 	DisableBatching bool
+	// OutboxHighWater is the per-peer send-queue byte budget: sends are
+	// accepted while queued bytes are below it and dropped above it
+	// (Stats.DroppedOverflow). Default 1 MiB. Control frames (hellos,
+	// subscription state) are exempt up to a 2x hard cap.
+	OutboxHighWater int
+	// OutboxLowWater is the relief threshold: once a saturated peer
+	// queue drains back to it, the netapi.Backpressured drain callbacks
+	// fire and Saturated flips false. Default OutboxHighWater/2; must
+	// not exceed OutboxHighWater.
+	OutboxLowWater int
+	// PeerBudget, when non-nil, overrides the outbox watermarks per
+	// peer — per-link-class tuning (generous budgets toward LAN
+	// brokers, tight ones toward constrained WAN edges). Return
+	// high <= 0 to keep the node-wide defaults; low <= 0 defaults to
+	// high/2.
+	PeerBudget func(peer ids.ID) (high, low int)
+	// LegacyOutbox restores the original fixed 256-frame-count queue
+	// bound (the pre-watermark reference path, measured against the
+	// byte budget in E-T13). Control frames remain exempt; the
+	// backpressure signal (Saturated/OnDrain) stays inactive, as it
+	// did not exist on this path.
+	LegacyOutbox bool
+	// RedialBackoff is the initial delay before redialing a peer whose
+	// connection failed while frames are still queued; it doubles per
+	// consecutive failure, capped at 32x. Default 100ms.
+	RedialBackoff time.Duration
+	// RedialAttempts bounds consecutive connection failures before a
+	// peer's queued frames are drained and counted as
+	// Stats.DroppedDialFail, so a dead address cannot park memory
+	// forever. Default 6.
+	RedialAttempts int
 	// Logger receives diagnostics; nil discards.
 	Logger *slog.Logger
 }
@@ -106,6 +144,18 @@ func (o *Options) applyDefaults() {
 	if o.DialTimeout == 0 {
 		o.DialTimeout = 3 * time.Second
 	}
+	if o.OutboxHighWater == 0 {
+		o.OutboxHighWater = 1 << 20
+	}
+	if o.OutboxLowWater == 0 {
+		o.OutboxLowWater = o.OutboxHighWater / 2
+	}
+	if o.RedialBackoff == 0 {
+		o.RedialBackoff = 100 * time.Millisecond
+	}
+	if o.RedialAttempts == 0 {
+		o.RedialAttempts = 6
+	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
 	}
@@ -116,9 +166,22 @@ type Stats struct {
 	Sent       uint64
 	SentBinary uint64 // subset of Sent framed with the binary codec
 	Received   uint64
-	Dropped    uint64 // no address, queue overflow, encode failures
-	Dials      uint64
-	DialFails  uint64
+	// Dropped is the total of the per-reason counters below, so overload
+	// behaviour is attributable, not a blur.
+	Dropped uint64
+	// DroppedOverflow counts sends refused by a peer outbox at/above its
+	// byte budget (or frame cap under Options.LegacyOutbox).
+	DroppedOverflow uint64
+	// DroppedNoAddr counts sends to destinations with no known address —
+	// checked before the encode is paid.
+	DroppedNoAddr uint64
+	// DroppedEncode counts codec failures.
+	DroppedEncode uint64
+	// DroppedDialFail counts queued frames drained after RedialAttempts
+	// consecutive connection failures to an unreachable peer.
+	DroppedDialFail uint64
+	Dials           uint64
+	DialFails       uint64
 	// FlushWrites counts connection flushes: each is one vectored write
 	// (writev) covering every frame drained from the peer's queue at that
 	// moment, however many coalesced. With DisableBatching it counts one
@@ -141,8 +204,13 @@ type peer struct {
 	id    ids.ID
 	addr  string
 	state peerState
-	out   chan []byte
+	ox    *outbox
 	conn  net.Conn
+	// connFails counts consecutive dial/connection failures while frames
+	// were still queued; redialPending guards against stacking redial
+	// timers. Both reset on a successful connection.
+	connFails     int
+	redialPending bool
 	// wantsBinary and kindsHash record the codec capabilities from the
 	// peer's most recent hello. Binary frames flow toward it only while
 	// it advertised the binary codec AND its registry fingerprint matches
@@ -199,11 +267,13 @@ type Node struct {
 	pending  map[uint64]*pendingReq
 	nextCorr uint64
 	stats    Stats
+	drainFns []func(ids.ID)
 }
 
 var (
-	_ netapi.Endpoint    = (*Node)(nil)
-	_ netapi.Multicaster = (*Node)(nil)
+	_ netapi.Endpoint      = (*Node)(nil)
+	_ netapi.Multicaster   = (*Node)(nil)
+	_ netapi.Backpressured = (*Node)(nil)
 )
 
 // Listen starts a TCP node. Register every message type with reg before
@@ -213,6 +283,9 @@ func Listen(id ids.ID, reg *wire.Registry, opts Options) (*Node, error) {
 	opts.applyDefaults()
 	if opts.Codec != "" && opts.Codec != wire.CodecXML && opts.Codec != wire.CodecBinary {
 		return nil, fmt.Errorf("transport: unknown codec %q (want %q or %q)", opts.Codec, wire.CodecXML, wire.CodecBinary)
+	}
+	if opts.OutboxLowWater > opts.OutboxHighWater {
+		return nil, fmt.Errorf("transport: OutboxLowWater %d exceeds OutboxHighWater %d", opts.OutboxLowWater, opts.OutboxHighWater)
 	}
 	ln, err := net.Listen("tcp", opts.Listen)
 	if err != nil {
@@ -374,10 +447,31 @@ func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb ne
 func (n *Node) ensurePeer(id ids.ID) *peer {
 	p, ok := n.peers[id]
 	if !ok {
-		p = &peer{id: id, out: make(chan []byte, outboxSize)}
+		p = &peer{id: id, ox: n.newOutbox(id)}
 		n.peers[id] = p
 	}
 	return p
+}
+
+// newOutbox builds a peer's queue with its link-class budget: the
+// node-wide watermarks unless Options.PeerBudget overrides them.
+func (n *Node) newOutbox(id ids.ID) *outbox {
+	high, low := n.opts.OutboxHighWater, n.opts.OutboxLowWater
+	if n.opts.PeerBudget != nil {
+		if h, l := n.opts.PeerBudget(id); h > 0 {
+			high = h
+			if l > 0 && l <= h {
+				low = l
+			} else {
+				low = h / 2
+			}
+		}
+	}
+	frameCap := 0
+	if n.opts.LegacyOutbox {
+		frameCap = legacyOutboxFrames
+	}
+	return newOutbox(high, low, frameCap)
 }
 
 func (n *Node) transmit(env *wire.Envelope, shared *wire.SharedBody) {
@@ -386,7 +480,16 @@ func (n *Node) transmit(env *wire.Envelope, shared *wire.SharedBody) {
 		n.dispatch(env)
 		return
 	}
-	p := n.ensurePeer(env.To)
+	// Route check first: no peer entry or no address means the frame
+	// could never leave this node — drop before paying the encode, and
+	// never grow the peer map for unroutable destinations.
+	p, ok := n.peers[env.To]
+	if !ok || p.addr == "" {
+		n.stats.Dropped++
+		n.stats.DroppedNoAddr++
+		n.log.Debug("no address for peer", "peer", env.To.Short())
+		return
+	}
 	// Negotiated per peer: binary frames only toward peers whose hello
 	// advertised the binary codec with a matching kind table.
 	st := n.codec.Load()
@@ -403,52 +506,138 @@ func (n *Node) transmit(env *wire.Envelope, shared *wire.SharedBody) {
 	}
 	if err != nil {
 		n.stats.Dropped++
+		n.stats.DroppedEncode++
 		n.log.Warn("encode failed", "err", err)
 		return
 	}
-	if p.addr == "" {
-		n.stats.Dropped++
-		n.log.Debug("no address for peer", "peer", env.To.Short())
-		return
-	}
-	select {
-	case p.out <- frame:
+	if p.ox.push(frame, wire.Control(env.Msg)) {
 		n.stats.Sent++
 		if codec == st.bin {
 			n.stats.SentBinary++
 		}
-	default:
+	} else {
 		n.stats.Dropped++
+		n.stats.DroppedOverflow++
 	}
-	if p.state == peerIdle {
-		p.state = peerDialing
-		n.stats.Dials++
-		n.wg.Add(1)
-		go n.dialPeer(p.id, p.addr)
+	n.maybeDial(p)
+}
+
+// maybeDial starts a connection attempt toward p unless one is already
+// in flight or a redial backoff owns the next attempt. Actor loop only.
+func (n *Node) maybeDial(p *peer) {
+	if p.state != peerIdle || p.redialPending || p.addr == "" {
+		return
+	}
+	p.state = peerDialing
+	n.stats.Dials++
+	n.wg.Add(1)
+	go n.dialPeer(p.id, p.addr)
+}
+
+// scheduleRedial arranges another dial after a connection failure while
+// frames are still queued — without it a transient dial failure would
+// strand those frames until an unrelated later transmit. Backoff doubles
+// per consecutive failure; after Options.RedialAttempts failures the
+// stranded frames are drained and counted (DroppedDialFail) so a dead
+// address cannot park memory forever. Actor loop only.
+func (n *Node) scheduleRedial(p *peer) {
+	if p.ox.pendingFrames() == 0 {
+		p.connFails = 0
+		return
+	}
+	p.connFails++
+	if p.connFails >= n.opts.RedialAttempts {
+		dropped, drained := p.ox.dropAll()
+		n.stats.Dropped += uint64(dropped)
+		n.stats.DroppedDialFail += uint64(dropped)
+		p.connFails = 0
+		n.log.Warn("peer unreachable, dropping queued frames",
+			"peer", p.id.Short(), "frames", dropped)
+		if drained {
+			n.fireDrain(p.id)
+		}
+		return
+	}
+	if p.redialPending {
+		return
+	}
+	p.redialPending = true
+	// Cap the exponent, not the product: a large RedialAttempts must not
+	// shift the backoff into overflow.
+	shift := p.connFails - 1
+	if shift > 5 {
+		shift = 5
+	}
+	n.Clock().After(n.opts.RedialBackoff<<shift, func() {
+		p.redialPending = false
+		if p.ox.pendingFrames() > 0 {
+			n.maybeDial(p)
+		}
+	})
+}
+
+// --- backpressure (netapi.Backpressured) -----------------------------------------
+
+// QueuedBytes implements netapi.Backpressured. Like Rand, it may only
+// be called from protocol code on the actor loop (the peer table is
+// actor-confined); the byte counter itself is lock-protected.
+func (n *Node) QueuedBytes(to ids.ID) int {
+	if p, ok := n.peers[to]; ok {
+		return p.ox.queuedBytes()
+	}
+	return 0
+}
+
+// Saturated implements netapi.Backpressured. Actor loop only.
+func (n *Node) Saturated(to ids.ID) bool {
+	if p, ok := n.peers[to]; ok {
+		return p.ox.saturated()
+	}
+	return false
+}
+
+// OnDrain implements netapi.Backpressured; fn runs on the actor loop.
+func (n *Node) OnDrain(fn func(to ids.ID)) {
+	n.do(func() { n.drainFns = append(n.drainFns, fn) })
+}
+
+// fireDrain runs the registered drain callbacks. Actor loop only.
+func (n *Node) fireDrain(id ids.ID) {
+	for _, fn := range n.drainFns {
+		fn(id)
 	}
 }
 
-// dialPeer establishes the write-only connection to a peer.
+// notifyDrain posts a drain event from a writer goroutine.
+func (n *Node) notifyDrain(id ids.ID) {
+	n.do(func() { n.fireDrain(id) })
+}
+
+// dialPeer establishes the write-only connection to a peer. Failures
+// hand the peer to scheduleRedial so frames queued during the attempt
+// are not stranded until an unrelated later transmit.
 func (n *Node) dialPeer(id ids.ID, addr string) {
 	defer n.wg.Done()
-	conn, err := net.DialTimeout("tcp", addr, n.opts.DialTimeout)
-	if err != nil {
+	fail := func(countDial bool) {
 		n.do(func() {
-			n.stats.DialFails++
+			if countDial {
+				n.stats.DialFails++
+			}
 			if p, ok := n.peers[id]; ok {
 				p.state = peerIdle
+				n.scheduleRedial(p)
 			}
 		})
+	}
+	conn, err := net.DialTimeout("tcp", addr, n.opts.DialTimeout)
+	if err != nil {
+		fail(true)
 		return
 	}
 	hello, err := n.helloFrame()
 	if err != nil || writeFrame(conn, hello) != nil {
 		_ = conn.Close()
-		n.do(func() {
-			if p, ok := n.peers[id]; ok {
-				p.state = peerIdle
-			}
-		})
+		fail(false)
 		return
 	}
 	n.do(func() {
@@ -459,6 +648,7 @@ func (n *Node) dialPeer(id ids.ID, addr string) {
 		}
 		p.state = peerConnected
 		p.conn = conn
+		p.connFails = 0
 		n.wg.Add(1)
 		go n.writeLoop(p, conn)
 	})
@@ -529,28 +719,38 @@ func (n *Node) RefreshRegistry() {
 // rehello queues a fresh hello on every connected peer link. Actor loop
 // only. A saturated outbox must not lose the renegotiation: capability
 // knowledge is updated only by hellos, so a dropped one would leave the
-// peer on the stale kinds hash until the next reconnect — rehello
-// retries shortly instead (re-sending to peers that already got one is
-// harmless; mergeHello is idempotent).
-func (n *Node) rehello() {
+// peer on the stale kinds hash until the next reconnect. Hellos are
+// control frames, exempt from the byte budget, so only a queue at its
+// hard cap can refuse one — those peers are tracked individually and
+// only they are retried; peers that already got the hello are not
+// re-broadcast to.
+func (n *Node) rehello() { n.rehelloTo(nil) }
+
+// rehelloTo sends the hello to every connected peer, or with a non-nil
+// only set just to those peers. Actor loop only.
+func (n *Node) rehelloTo(only map[ids.ID]bool) {
 	frame, err := n.helloEnvelope(n.bookSnapshot())
 	if err != nil {
 		n.log.Warn("rehello encode failed", "err", err)
 		return
 	}
-	retry := false
-	for _, p := range n.peers {
+	var missed map[ids.ID]bool
+	for id, p := range n.peers {
 		if p.state != peerConnected {
 			continue
 		}
-		select {
-		case p.out <- frame:
-		default:
-			retry = true
+		if only != nil && !only[id] {
+			continue
+		}
+		if !p.ox.push(frame, true) {
+			if missed == nil {
+				missed = make(map[ids.ID]bool)
+			}
+			missed[id] = true
 		}
 	}
-	if retry {
-		n.Clock().After(100*time.Millisecond, n.rehello)
+	if len(missed) > 0 {
+		n.Clock().After(100*time.Millisecond, func() { n.rehelloTo(missed) })
 	}
 }
 
@@ -561,7 +761,16 @@ func (n *Node) writeLoop(p *peer, conn net.Conn) {
 		n.do(func() {
 			p.state = peerIdle
 			p.conn = nil
+			// Frames queued after this batch was taken would otherwise be
+			// stranded until an unrelated later transmit.
+			n.scheduleRedial(p)
 		})
+	}
+	// The reference path writes one frame per call; take still drains the
+	// queue one frame at a time because any second frame overflows max=1.
+	maxBytes := flushWatermark
+	if n.opts.DisableBatching {
+		maxBytes = 1
 	}
 	var (
 		frames [][]byte
@@ -569,35 +778,26 @@ func (n *Node) writeLoop(p *peer, conn net.Conn) {
 		iovecs [][]byte
 	)
 	for {
-		select {
-		case <-n.closed:
-			return
-		case frame := <-p.out:
-			if n.opts.DisableBatching {
-				// Reference path: one frame per write call.
-				if err := writeFrame(conn, frame); err != nil {
-					fail()
-					return
-				}
-				n.flushWrites.Add(1)
-				continue
+		// Drain before waiting: a fresh writeLoop may start with frames
+		// already queued (and the notify token consumed by a previous
+		// writer that died mid-flush).
+		for {
+			// Re-check shutdown between batches: a deep byte-budgeted
+			// queue toward a slow receiver must not pin Close() until it
+			// fully drains.
+			select {
+			case <-n.closed:
+				return
+			default:
 			}
-			// Drain whatever else is already queued (up to the flush
-			// watermark) and write the whole batch with one writev. Each
-			// frame keeps its own 4-byte length header, so the receiver's
-			// framing is unchanged — only the syscall count drops.
-			frames = append(frames[:0], frame)
-			total := len(frame)
-		drain:
-			for total < flushWatermark {
-				select {
-				case f := <-p.out:
-					frames = append(frames, f)
-					total += len(f)
-				default:
-					break drain
-				}
+			var total int
+			frames, total = p.ox.take(frames[:0], maxBytes)
+			if len(frames) == 0 {
+				break
 			}
+			// Write the whole batch with one writev. Each frame keeps its
+			// own 4-byte length header, so the receiver's framing is
+			// unchanged — only the syscall count drops.
 			hdrs = hdrs[:0]
 			for _, f := range frames {
 				var hdr [4]byte
@@ -609,7 +809,13 @@ func (n *Node) writeLoop(p *peer, conn net.Conn) {
 				iovecs = append(iovecs, hdrs[4*i:4*i+4], f)
 			}
 			bufs := net.Buffers(iovecs)
-			if _, err := bufs.WriteTo(conn); err != nil {
+			_, err := bufs.WriteTo(conn)
+			// Release the batch's bytes even on error: the frames left the
+			// queue either way, and the gauge must not wedge saturated.
+			if p.ox.release(total) {
+				n.notifyDrain(p.id)
+			}
+			if err != nil {
 				fail()
 				return
 			}
@@ -617,6 +823,11 @@ func (n *Node) writeLoop(p *peer, conn net.Conn) {
 			if len(frames) > 1 {
 				n.batchedFrames.Add(uint64(len(frames) - 1))
 			}
+		}
+		select {
+		case <-n.closed:
+			return
+		case <-p.ox.notify:
 		}
 	}
 }

@@ -26,6 +26,24 @@ type Message interface {
 	Kind() string
 }
 
+// ControlMessage is optionally implemented by message types whose loss
+// would wedge a protocol rather than merely lose data: subscription
+// state, hellos, topology repair. Byte-budgeted send queues never drop
+// control messages on watermark overflow — only at an absolute hard cap
+// — so overload sheds event fan-out before the routing state that
+// steers it.
+type ControlMessage interface {
+	Message
+	Control() bool
+}
+
+// Control reports whether msg is control-plane traffic exempt from
+// send-queue budget drops.
+func Control(msg Message) bool {
+	c, ok := msg.(ControlMessage)
+	return ok && c.Control()
+}
+
 // Envelope carries one message between two nodes.
 type Envelope struct {
 	From    ids.ID
