@@ -151,6 +151,15 @@ func BenchmarkE_T13_Backpressure(b *testing.B) {
 	}
 }
 
+func BenchmarkE_T14_ShardedMatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T14ShardedMatch(true)
+		last := len(tab.Rows) - 1
+		report(b, tab, last, 3, "sharded-kpubs-per-s")
+		report(b, tab, last, 4, "sharded-speedup") // ~1.0 on a single core; >1 with real parallelism
+	}
+}
+
 // --- micro-benchmarks of hot paths ------------------------------------------
 
 // BenchmarkBrokerPublishWorld measures the full per-publish path through

@@ -24,6 +24,7 @@ import (
 	"github.com/gloss/active/internal/gateway"
 	"github.com/gloss/active/internal/ids"
 	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/nodecfg"
 	"github.com/gloss/active/internal/transport"
 	"github.com/gloss/active/internal/wire"
 )
@@ -47,12 +48,21 @@ func run() error {
 		codec     = flag.String("codec", wire.CodecXML, "preferred wire codec: xml (open interop format) or binary (compact fast path, used only between nodes that both opt in)")
 		outboxHi  = flag.Int("outbox-high", 0, "per-peer send-queue byte budget; sends above it are dropped (0 = 1 MiB default)")
 		outboxLo  = flag.Int("outbox-low", 0, "backpressure-relief watermark in bytes (0 = half of -outbox-high)")
+		shards    = flag.Int("shards", 0, "broker match-index shards (0 = one per core capped at 8, 1 = serial reference)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
 
-	if *codec != wire.CodecXML && *codec != wire.CodecBinary {
-		return fmt.Errorf("unknown -codec %q (want %q or %q)", *codec, wire.CodecXML, wire.CodecBinary)
+	// One nodecfg.Common carries the flags shared across the stack; the
+	// transport and the node config both embed it.
+	common := nodecfg.Common{
+		Codec:           *codec,
+		OutboxHighWater: *outboxHi,
+		OutboxLowWater:  *outboxLo,
+		Shards:          *shards,
+	}
+	if err := common.Validate(); err != nil {
+		return err
 	}
 
 	logger := slog.New(slog.DiscardHandler)
@@ -73,14 +83,12 @@ func run() error {
 	gateway.RegisterMessages(reg)
 
 	ep, err := transport.Listen(id, reg, transport.Options{
-		Listen:          *listen,
-		Region:          *region,
-		Coord:           netapi.Coord{X: *x, Y: *y},
-		Seed:            time.Now().UnixNano(),
-		Codec:           *codec,
-		OutboxHighWater: *outboxHi,
-		OutboxLowWater:  *outboxLo,
-		Logger:          logger,
+		Common: common,
+		Listen: *listen,
+		Region: *region,
+		Coord:  netapi.Coord{X: *x, Y: *y},
+		Seed:   time.Now().UnixNano(),
+		Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -88,9 +96,9 @@ func run() error {
 	defer func() { _ = ep.Close() }()
 
 	node := core.NewActiveNode(ep, reg, core.NodeConfig{
+		Common:         common,
 		Secret:         []byte(*secret),
 		AdvertInterval: -1, // advertising needs a broker mesh; single-node CLI keeps quiet
-		Codec:          *codec,
 	})
 	gateway.Serve(node)
 

@@ -50,6 +50,7 @@ func main() {
 		{"E-T11", exp.T11WireFormat},
 		{"E-T12", exp.T12FanoutHotPath},
 		{"E-T13", exp.T13Backpressure},
+		{"E-T14", exp.T14ShardedMatch},
 	}
 	ran := 0
 	for _, r := range runners {

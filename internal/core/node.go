@@ -20,6 +20,7 @@ import (
 	"github.com/gloss/active/internal/knowledge"
 	"github.com/gloss/active/internal/match"
 	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/nodecfg"
 	"github.com/gloss/active/internal/pipeline"
 	"github.com/gloss/active/internal/plaxton"
 	"github.com/gloss/active/internal/pubsub"
@@ -29,6 +30,12 @@ import (
 
 // NodeConfig parameterises one active node.
 type NodeConfig struct {
+	// Common is the shared node-configuration block (internal/nodecfg).
+	// The stack consumes Common.Shards as the broker's match-shard count
+	// (threaded to pubsub.Options.MatchShards when that is unset) and
+	// Common.Codec as the codec default behind the deprecated-but-kept
+	// Codec field below.
+	nodecfg.Common
 	// Secret is the capability-minting secret shared by the deployment's
 	// thin servers.
 	Secret []byte
@@ -86,6 +93,9 @@ func RegisterMessages(reg *wire.Registry) {
 
 // NewActiveNode wires the full stack onto one endpoint.
 func NewActiveNode(ep netapi.Endpoint, reg *wire.Registry, cfg NodeConfig) *ActiveNode {
+	if cfg.Broker.MatchShards == 0 {
+		cfg.Broker.MatchShards = cfg.Shards
+	}
 	n := &ActiveNode{
 		ep:     ep,
 		KB:     knowledge.NewKB(),

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/pubsub"
+)
+
+// t14Attrs is the number of distinct context attributes the T14 workload
+// spreads its subscriptions over — the axis the sharded index partitions
+// on.
+const t14Attrs = 16
+
+// T14ShardedMatch measures concurrent publish-matching throughput as the
+// match-index shard count grows, at increasing subscription-table sizes.
+// Every filter pins one of 16 context attributes to one value, so the
+// postings spread across shards and every event probe fans across them;
+// GOMAXPROCS workers publish concurrently. The shards=1 row is the
+// serial reference index behind a mutex — the only safe way to drive it
+// from several cores, and exactly what a multi-core broker would
+// otherwise pay. Speedups are relative to it; on a single-core runner
+// they flatten to ~1x by construction (the table is parameterised by
+// GOMAXPROCS).
+func T14ShardedMatch(quick bool) *Table {
+	t := &Table{
+		ID:     "E-T14",
+		Title:  "Sharded matching: concurrent publish throughput vs shard count",
+		Header: []string{"subs", "shards", "workers", "k pubs/s", "speedup", "matches/pub"},
+	}
+	subsSizes := []int{10_000, 100_000, 1_000_000}
+	shardCounts := []int{1, 2, 4, 8}
+	events := 40_000
+	if quick {
+		subsSizes = []int{10_000}
+		shardCounts = []int{1, 4}
+		events = 8_000
+	}
+	workers := runtime.GOMAXPROCS(0)
+	for _, subs := range subsSizes {
+		base := 0.0
+		for _, shards := range shardCounts {
+			kps, mpp := shardedMatchRun(subs, shards, workers, events)
+			if shards == 1 {
+				base = kps
+			}
+			t.AddRow(fmt.Sprint(subs), fmt.Sprint(shards), fmt.Sprint(workers),
+				f1(kps), f2(kps/base), f1(mpp))
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d publishes split over %d workers; filters pin one of %d context attributes to one value",
+			events, workers, t14Attrs),
+		"shards=1 is the serial reference Index behind a mutex; speedup is relative to it at the same subs",
+		"matches/pub is the delivered selectivity (one filter per probed attribute by construction)")
+	return t
+}
+
+// t14Matcher is the slice of the index API the workload drives; both the
+// serial Index and the ShardedIndex satisfy it.
+type t14Matcher interface {
+	Add(key string, f pubsub.Filter)
+	Match(ev *event.Event, visit func(key string))
+}
+
+// shardedMatchRun builds a subs-filter index over shards shards and
+// hammers it with events publishes from workers goroutines, returning
+// k publishes/s and observed matches per publish.
+func shardedMatchRun(subs, shards, workers, events int) (kps, matchesPerPub float64) {
+	var ix t14Matcher
+	var mu sync.Mutex
+	serial := shards == 1
+	if serial {
+		ix = pubsub.NewIndex()
+	} else {
+		ix = pubsub.NewShardedIndex(shards)
+	}
+	// One filter per (attribute, value) pair, built in ascending value
+	// order per attribute so the sorted posting lists append instead of
+	// shifting — this keeps the 1M-subscription build linear.
+	groups := subs / t14Attrs
+	for i := 0; i < subs; i++ {
+		f := pubsub.NewFilter(pubsub.Eq(
+			fmt.Sprintf("u%02d", i%t14Attrs),
+			event.S(fmt.Sprintf("v%07d", i/t14Attrs))))
+		ix.Add(f.Key(), f)
+	}
+
+	perWorker := events / workers
+	var matched atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			// A small rotating batch of pre-built events keeps generator
+			// cost out of the measured loop.
+			batch := make([]*event.Event, 64)
+			for i := range batch {
+				ev := event.New("t14.pub", "exp", 0)
+				for k := 0; k < t14Attrs; k++ {
+					ev.Set(fmt.Sprintf("u%02d", k),
+						event.S(fmt.Sprintf("v%07d", rng.Intn(groups))))
+				}
+				batch[i] = ev.Stamp(uint64(i))
+			}
+			n := uint64(0)
+			for i := 0; i < perWorker; i++ {
+				ev := batch[i%len(batch)]
+				if serial {
+					mu.Lock()
+				}
+				ix.Match(ev, func(string) { n++ })
+				if serial {
+					mu.Unlock()
+				}
+			}
+			matched.Add(n)
+		}(int64(1000 + wkr))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := perWorker * workers
+	kps = float64(total) / elapsed.Seconds() / 1000
+	matchesPerPub = float64(matched.Load()) / float64(total)
+	return
+}

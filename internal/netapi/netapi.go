@@ -100,13 +100,39 @@ type Multicaster interface {
 // otherwise. Callers must treat msg as shared and immutable afterwards
 // (events should be frozen before fanning out).
 func SendMany(ep Endpoint, tos []ids.ID, msg wire.Message) {
-	if m, ok := ep.(Multicaster); ok {
+	if m := Capabilities(ep).Multicast; m != nil {
 		m.SendMany(tos, msg)
 		return
 	}
 	for _, to := range tos {
 		ep.Send(to, msg)
 	}
+}
+
+// Caps collects an endpoint's optional interfaces in one typed struct.
+// A field is nil when the endpoint does not provide that capability.
+type Caps struct {
+	// Multicast is the fan-out fast path, or nil.
+	Multicast Multicaster
+	// Backpressure is the send-queue saturation signal, or nil.
+	Backpressure Backpressured
+}
+
+// Capabilities discovers ep's optional interfaces. It formalises what
+// callers used to do with scattered ad-hoc type assertions: probe once,
+// keep the typed result. Protocol constructors call it at wiring time
+// (the broker records Caps.Backpressure for shedding, SendMany uses
+// Caps.Multicast); the capability set of an endpoint never changes over
+// its lifetime, so the snapshot stays valid.
+func Capabilities(ep Endpoint) Caps {
+	var c Caps
+	if m, ok := ep.(Multicaster); ok {
+		c.Multicast = m
+	}
+	if b, ok := ep.(Backpressured); ok {
+		c.Backpressure = b
+	}
+	return c
 }
 
 // Backpressured is optionally implemented by endpoints whose send path

@@ -1,0 +1,87 @@
+// Package nodecfg holds the node-level configuration shared by every
+// substrate a node is built from. The knobs that used to be duplicated
+// across transport.Options, simnet.Config and pubsub.Options — wire
+// codec, outbox watermarks, per-peer budgets, shard/partition counts —
+// live here once, and the substrate option structs embed Common so
+// cmd/activenode and core.WorldConfig thread one struct instead of
+// copying fields.
+//
+// Precedence: a substrate's own (older, deprecated-but-working) field
+// always wins over the embedded Common value, so existing callers keep
+// their exact behaviour; Common fills only fields the caller left zero.
+package nodecfg
+
+import (
+	"fmt"
+
+	"github.com/gloss/active/internal/ids"
+)
+
+// PeerBudget overrides the outbox watermarks for one peer — per-link-class
+// tuning (generous budgets toward LAN brokers, tight ones toward
+// constrained WAN edges). Return high <= 0 to keep the node-wide
+// defaults; low <= 0 defaults to high/2.
+type PeerBudget func(peer ids.ID) (high, low int)
+
+// Common is the substrate-independent slice of a node's configuration.
+// transport.Options, simnet.Config and core.NodeConfig embed it; a zero
+// Common changes nothing anywhere.
+type Common struct {
+	// Codec is the preferred wire codec name ("xml" or "binary"). The
+	// TCP transport uses it for hello negotiation; core resolves it to
+	// the simulator's byte-accounting codec.
+	Codec string
+	// OutboxHighWater is the per-destination send-queue byte budget;
+	// non-control sends above it are dropped. Zero keeps the
+	// substrate's default (1 MiB on the transport, disabled in simnet).
+	OutboxHighWater int
+	// OutboxLowWater is the backpressure-relief watermark. Zero
+	// defaults to OutboxHighWater/2.
+	OutboxLowWater int
+	// PeerBudget, when non-nil, overrides the watermarks per peer.
+	PeerBudget PeerBudget
+	// Shards sets the parallelism degree of the node's sharded
+	// subsystems: the broker's predicate-index shard count
+	// (pubsub.Options.MatchShards) and the simulated world's execution
+	// partitions (simnet). Zero selects each subsystem's default; 1
+	// selects the serial reference paths.
+	Shards int
+}
+
+// Merge fills c's zero fields from o and returns the result: the
+// receiver (the outer, possibly deprecated configuration) wins, o (the
+// embedded Common, or a world-level default) fills the gaps.
+func (c Common) Merge(o Common) Common {
+	if c.Codec == "" {
+		c.Codec = o.Codec
+	}
+	if c.OutboxHighWater == 0 {
+		c.OutboxHighWater = o.OutboxHighWater
+	}
+	if c.OutboxLowWater == 0 {
+		c.OutboxLowWater = o.OutboxLowWater
+	}
+	if c.PeerBudget == nil {
+		c.PeerBudget = o.PeerBudget
+	}
+	if c.Shards == 0 {
+		c.Shards = o.Shards
+	}
+	return c
+}
+
+// Validate rejects values no substrate could accept: an unknown codec
+// name or an inverted watermark pair. Zero values always pass.
+func (c Common) Validate() error {
+	if c.Codec != "" && c.Codec != "xml" && c.Codec != "binary" {
+		return fmt.Errorf("nodecfg: unknown codec %q (want \"xml\" or \"binary\")", c.Codec)
+	}
+	if c.OutboxLowWater > c.OutboxHighWater {
+		return fmt.Errorf("nodecfg: OutboxLowWater %d exceeds OutboxHighWater %d",
+			c.OutboxLowWater, c.OutboxHighWater)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("nodecfg: negative Shards %d", c.Shards)
+	}
+	return nil
+}

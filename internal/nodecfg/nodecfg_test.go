@@ -1,0 +1,54 @@
+package nodecfg
+
+import (
+	"testing"
+
+	"github.com/gloss/active/internal/ids"
+)
+
+func TestMergeOuterWins(t *testing.T) {
+	outer := Common{Codec: "xml", OutboxHighWater: 100}
+	inner := Common{Codec: "binary", OutboxHighWater: 999, OutboxLowWater: 40, Shards: 4}
+	got := outer.Merge(inner)
+	if got.Codec != "xml" {
+		t.Fatalf("Codec = %q, want outer %q", got.Codec, "xml")
+	}
+	if got.OutboxHighWater != 100 {
+		t.Fatalf("OutboxHighWater = %d, want outer 100", got.OutboxHighWater)
+	}
+	if got.OutboxLowWater != 40 {
+		t.Fatalf("OutboxLowWater = %d, want filled 40", got.OutboxLowWater)
+	}
+	if got.Shards != 4 {
+		t.Fatalf("Shards = %d, want filled 4", got.Shards)
+	}
+}
+
+func TestMergeFillsPeerBudget(t *testing.T) {
+	inner := Common{PeerBudget: func(ids.ID) (int, int) { return 7, 3 }}
+	got := Common{}.Merge(inner)
+	if got.PeerBudget == nil {
+		t.Fatal("PeerBudget not filled from inner")
+	}
+	if h, l := got.PeerBudget(ids.ID{}); h != 7 || l != 3 {
+		t.Fatalf("PeerBudget = (%d,%d), want (7,3)", h, l)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Common{}).Validate(); err != nil {
+		t.Fatalf("zero Common must validate: %v", err)
+	}
+	if err := (Common{Codec: "binary", OutboxHighWater: 10, OutboxLowWater: 5, Shards: 8}).Validate(); err != nil {
+		t.Fatalf("valid Common rejected: %v", err)
+	}
+	for _, bad := range []Common{
+		{Codec: "gob"},
+		{OutboxHighWater: 1, OutboxLowWater: 2},
+		{Shards: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", bad)
+		}
+	}
+}

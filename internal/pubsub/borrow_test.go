@@ -1,0 +1,91 @@
+package pubsub
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/wire"
+)
+
+// borrowFrame encodes one PubMsg with nAttrs string attributes through
+// the binary codec — the frozen hot-path frame shape the borrow decode
+// mode exists for.
+func borrowFrame(t testing.TB, c *wire.BinaryCodec, nAttrs int) []byte {
+	t.Helper()
+	ev := event.New("gps.location", "sensor/alloc-test", 42)
+	for i := 0; i < nAttrs; i++ {
+		ev.Set(fmt.Sprintf("attr-name-%02d", i), event.S(fmt.Sprintf("string-value-%02d", i)))
+	}
+	ev.Stamp(7)
+	env := &wire.Envelope{
+		From: ids.FromString("borrow-from"),
+		To:   ids.FromString("borrow-to"),
+		Msg:  &PubMsg{Event: ev},
+	}
+	frame, err := c.Encode(env)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return frame
+}
+
+func borrowCodec(t testing.TB) *wire.BinaryCodec {
+	t.Helper()
+	reg := wire.NewRegistry()
+	RegisterMessages(reg)
+	return wire.NewBinaryCodec(reg)
+}
+
+// TestDecodeBorrowEqualsDecode proves borrow-mode decode is purely an
+// allocation strategy: the decoded envelope is value-identical to the
+// copying decode's.
+func TestDecodeBorrowEqualsDecode(t *testing.T) {
+	c := borrowCodec(t)
+	frame := borrowFrame(t, c, 16)
+	copied, err := c.Decode(frame)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	borrowed, err := c.DecodeBorrow(frame)
+	if err != nil {
+		t.Fatalf("DecodeBorrow: %v", err)
+	}
+	if !reflect.DeepEqual(copied, borrowed) {
+		t.Fatalf("borrowed decode diverges:\ncopy:   %+v\nborrow: %+v", copied, borrowed)
+	}
+}
+
+// TestDecodeBorrowAllocRegression pins the bugfix: BinReader.String used
+// to copy every string on decode, so a hot-path PubMsg paid one
+// allocation per attribute name and value. Borrow mode must save at
+// least one allocation per attribute — if this fails, someone
+// reintroduced per-string copies on the borrowed path.
+func TestDecodeBorrowAllocRegression(t *testing.T) {
+	const nAttrs = 24
+	c := borrowCodec(t)
+	frame := borrowFrame(t, c, nAttrs)
+
+	copyAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	borrowAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.DecodeBorrow(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if borrowAllocs >= copyAllocs {
+		t.Fatalf("borrow decode allocates %.0f/op, copying decode %.0f/op — no win", borrowAllocs, copyAllocs)
+	}
+	// Each attribute carries a name string and a string value; the type,
+	// source and body strings ride along. Demand at least the per-attr
+	// saving so the bound survives incidental alloc drift elsewhere.
+	if saved := copyAllocs - borrowAllocs; saved < nAttrs {
+		t.Fatalf("borrow decode saves only %.0f allocs/op for %d attrs; want >= %d (one per attribute)",
+			saved, nAttrs, nAttrs)
+	}
+}

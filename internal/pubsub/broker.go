@@ -35,6 +35,14 @@ type Options struct {
 	// delivery; the clone path exists for the clone-vs-borrow
 	// differential tests and the E-T12 ablation.
 	CloneFanout bool
+	// MatchShards selects the predicate-index implementation. 0 (the
+	// default) uses the attribute-sharded index with DefaultMatchShards
+	// shards; >= 2 uses that many shards; 1 selects the serial single-shard
+	// Index, preserved as the reference implementation for the
+	// sharded-vs-serial differential tests. Both implementations run the
+	// same probeAttr match engine, so delivery sets, Stats and forwarding
+	// are identical across settings. nodecfg.Common.Shards threads here.
+	MatchShards int
 	// DisableShedding turns off backpressure-aware fan-out shedding.
 	// By default, when the endpoint reports send-queue saturation
 	// (netapi.Backpressured), the broker drops per-subscriber
@@ -51,6 +59,27 @@ func (o *Options) applyDefaults() {
 	if o.ProxyBufferLimit == 0 {
 		o.ProxyBufferLimit = 1024
 	}
+}
+
+// matcher is the seam between the broker and the counting predicate
+// index: the serial Index (MatchShards = 1) and the attribute-sharded
+// ShardedIndex both satisfy it, and the broker drives whichever the
+// options selected through this interface only.
+type matcher interface {
+	Add(key string, f Filter)
+	Remove(key string)
+	Match(ev *event.Event, visit func(key string))
+	Len() int
+	AttrCount() int
+	Postings() int
+}
+
+// newMatcher maps Options.MatchShards onto an index implementation.
+func newMatcher(shards int) matcher {
+	if shards == 1 {
+		return NewIndex()
+	}
+	return NewShardedIndex(shards)
 }
 
 // entry records one distinct filter and the directions subscribed to it.
@@ -105,7 +134,7 @@ type Broker struct {
 	nborOrder []ids.ID // sorted, for deterministic iteration
 	entries   map[string]*entry
 	entryKeys []string // sorted
-	index     *Index   // counting-algorithm view of entries
+	index     matcher  // counting-algorithm view of entries
 	forwarded map[ids.ID]map[string]Filter
 	adverts   map[string]*advEntry
 	proxies   map[ids.ID]*proxy
@@ -121,14 +150,14 @@ func NewBroker(ep netapi.Endpoint, opts Options) *Broker {
 		opts:      opts,
 		neighbors: make(map[ids.ID]bool),
 		entries:   make(map[string]*entry),
-		index:     NewIndex(),
+		index:     newMatcher(opts.MatchShards),
 		forwarded: make(map[ids.ID]map[string]Filter),
 		adverts:   make(map[string]*advEntry),
 		proxies:   make(map[ids.ID]*proxy),
 		shedTo:    make(map[ids.ID]struct{}),
 	}
 	if !opts.DisableShedding {
-		if bp, ok := ep.(netapi.Backpressured); ok {
+		if bp := netapi.Capabilities(ep).Backpressure; bp != nil {
 			b.bp = bp
 			bp.OnDrain(b.onDrain)
 		}
@@ -214,7 +243,7 @@ func ConnectBrokers(a, b *Broker) {
 func (b *Broker) Stats() Stats {
 	s := b.stats
 	s.TableEntries = len(b.entries)
-	s.IndexAttrs = len(b.index.attrs)
+	s.IndexAttrs = b.index.AttrCount()
 	s.IndexPostings = b.index.Postings()
 	for _, m := range b.forwarded {
 		s.ForwardedSubs += len(m)

@@ -183,9 +183,56 @@ func removePosting(ps *[]posting, kind int, p posting) bool {
 	return false
 }
 
+// countTable is the per-match counting state of the algorithm: one
+// counter per filter slot, validated by a stamp so no clear is paid
+// between matches. The serial Index owns one for its lifetime; the
+// ShardedIndex pools them per Match call so concurrent matches never
+// share counters. The owner column records which filter a slot's count
+// belongs to this match — under concurrent add/remove a slot can be
+// recycled mid-match, and the owner check stops a new tenant from
+// inheriting a previous tenant's partial count.
+type countTable struct {
+	counts []int
+	owner  []*ixFilter
+	stamps []uint64
+	stamp  uint64
+}
+
+// begin opens a new match: all existing counts become stale at once.
+func (t *countTable) begin() { t.stamp++ }
+
+// bump records one satisfied constraint for fx and emits the filter once
+// its count reaches the constraint total. Growth is lazy so the table
+// tracks slot-space expansion without coordination.
+func (t *countTable) bump(fx *ixFilter, visit func(string)) {
+	s := fx.slot
+	if s >= len(t.counts) {
+		grown := make([]int, s+s/2+8)
+		copy(grown, t.counts)
+		t.counts = grown
+		owner := make([]*ixFilter, len(grown))
+		copy(owner, t.owner)
+		t.owner = owner
+		stamps := make([]uint64, len(grown))
+		copy(stamps, t.stamps)
+		t.stamps = stamps
+	}
+	if t.stamps[s] != t.stamp || t.owner[s] != fx {
+		t.stamps[s] = t.stamp
+		t.owner[s] = fx
+		t.counts[s] = 0
+	}
+	t.counts[s]++
+	if t.counts[s] == fx.total {
+		visit(fx.key)
+	}
+}
+
 // Index is the counting-algorithm predicate index over a broker's
 // distinct subscription filters. Not safe for concurrent use; brokers run
-// under the endpoint's serial callback discipline.
+// under the endpoint's serial callback discipline. ShardedIndex is the
+// concurrency-safe attribute-sharded variant; Index remains the serial
+// reference it is differentially tested against.
 type Index struct {
 	filters map[string]*ixFilter
 	attrs   map[string]*attrPostings
@@ -195,13 +242,9 @@ type Index struct {
 	// empties are zero-constraint filters: they match every event.
 	empties []*ixFilter
 
-	// Counting table. counts[slot] is valid only when stamps[slot] equals
-	// the current stamp, which spares a full clear per match.
-	slots  []*ixFilter
-	free   []int
-	counts []int
-	stamps []uint64
-	stamp  uint64
+	slots []*ixFilter
+	free  []int
+	ct    countTable
 }
 
 // NewIndex returns an empty predicate index.
@@ -224,6 +267,9 @@ func (ix *Index) Postings() int {
 	return n
 }
 
+// AttrCount returns the number of attributes with live postings.
+func (ix *Index) AttrCount() int { return len(ix.attrs) }
+
 // Attrs returns the indexed attribute names in sorted order.
 func (ix *Index) Attrs() []string {
 	out := make([]string, len(ix.attrOrder))
@@ -242,12 +288,9 @@ func (ix *Index) Add(key string, f Filter) {
 		fx.slot = ix.free[n-1]
 		ix.free = ix.free[:n-1]
 		ix.slots[fx.slot] = fx
-		ix.stamps[fx.slot] = 0
 	} else {
 		fx.slot = len(ix.slots)
 		ix.slots = append(ix.slots, fx)
-		ix.counts = append(ix.counts, 0)
-		ix.stamps = append(ix.stamps, 0)
 	}
 	ix.filters[key] = fx
 	if fx.total == 0 {
@@ -307,7 +350,7 @@ func (ix *Index) Remove(key string) {
 // Match invokes visit exactly once for the key of every indexed filter
 // the event satisfies. The visit order is unspecified.
 func (ix *Index) Match(ev *event.Event, visit func(key string)) {
-	ix.stamp++
+	ix.ct.begin()
 	for _, fx := range ix.empties {
 		visit(fx.key)
 	}
@@ -326,22 +369,29 @@ func (ix *Index) Match(ev *event.Event, visit func(key string)) {
 }
 
 func (ix *Index) matchAttr(name string, v event.Value, visit func(string)) {
-	ap := ix.attrs[name]
-	if ap == nil {
-		return
+	if ap := ix.attrs[name]; ap != nil {
+		probeAttr(ap, v, &ix.ct, visit)
 	}
+}
+
+// probeAttr runs one attribute's value against its postings, bumping the
+// counting table for every satisfied constraint. It is the shared match
+// engine of the serial Index and the ShardedIndex: both the reference
+// and the sharded path must resolve a posting bucket identically, so
+// there is exactly one copy of this logic.
+func probeAttr(ap *attrPostings, v event.Value, ct *countTable, visit func(string)) {
 	for i := range ap.exists {
-		ix.bump(ap.exists[i].fx, visit)
+		ct.bump(ap.exists[i].fx, visit)
 	}
 	if n, ok := v.Num(); ok {
 		if math.IsNaN(n) {
 			// NaN compares as equal to everything under Value.Compare;
 			// only direct evaluation reproduces that faithfully.
-			ix.scanBucket(ap.eqNum, v, visit)
-			ix.scanBucket(ap.ltNum, v, visit)
-			ix.scanBucket(ap.leNum, v, visit)
-			ix.scanBucket(ap.gtNum, v, visit)
-			ix.scanBucket(ap.geNum, v, visit)
+			scanBucket(ap.eqNum, v, ct, visit)
+			scanBucket(ap.ltNum, v, ct, visit)
+			scanBucket(ap.leNum, v, ct, visit)
+			scanBucket(ap.gtNum, v, ct, visit)
+			scanBucket(ap.geNum, v, ct, visit)
 		} else {
 			num := func(ps []posting, j int) float64 { m, _ := ps[j].con.Val.Num(); return m }
 			// eq: postings whose value equals n. The float64 span is a
@@ -352,28 +402,28 @@ func (ix *Index) matchAttr(name string, v event.Value, visit func(string)) {
 			ps := ap.eqNum
 			for i := sort.Search(len(ps), func(j int) bool { return num(ps, j) >= n }); i < len(ps) && num(ps, i) == n; i++ {
 				if ps[i].con.Matches(v) {
-					ix.bump(ps[i].fx, visit)
+					ct.bump(ps[i].fx, visit)
 				}
 			}
 			// v < c.Val ⇔ c.Val > n: the suffix strictly above n.
 			ps = ap.ltNum
 			for i := sort.Search(len(ps), func(j int) bool { return num(ps, j) > n }); i < len(ps); i++ {
-				ix.bump(ps[i].fx, visit)
+				ct.bump(ps[i].fx, visit)
 			}
 			// v ≤ c.Val: the suffix from n up.
 			ps = ap.leNum
 			for i := sort.Search(len(ps), func(j int) bool { return num(ps, j) >= n }); i < len(ps); i++ {
-				ix.bump(ps[i].fx, visit)
+				ct.bump(ps[i].fx, visit)
 			}
 			// v > c.Val: the prefix strictly below n.
 			ps = ap.gtNum
 			for i, hi := 0, sort.Search(len(ps), func(j int) bool { return num(ps, j) >= n }); i < hi; i++ {
-				ix.bump(ps[i].fx, visit)
+				ct.bump(ps[i].fx, visit)
 			}
 			// v ≥ c.Val: the prefix up to n.
 			ps = ap.geNum
 			for i, hi := 0, sort.Search(len(ps), func(j int) bool { return num(ps, j) > n }); i < hi; i++ {
-				ix.bump(ps[i].fx, visit)
+				ct.bump(ps[i].fx, visit)
 			}
 		}
 	} else if v.K == event.KindString {
@@ -381,52 +431,38 @@ func (ix *Index) matchAttr(name string, v event.Value, visit func(string)) {
 		ps := ap.eqStr
 		for i := sort.Search(len(ps), func(j int) bool { return ps[j].con.Val.S >= s }); i < len(ps) && ps[i].con.Val.S == s; i++ {
 			if ps[i].con.Matches(v) {
-				ix.bump(ps[i].fx, visit)
+				ct.bump(ps[i].fx, visit)
 			}
 		}
 		ps = ap.ltStr
 		for i := sort.Search(len(ps), func(j int) bool { return ps[j].con.Val.S > s }); i < len(ps); i++ {
-			ix.bump(ps[i].fx, visit)
+			ct.bump(ps[i].fx, visit)
 		}
 		ps = ap.leStr
 		for i := sort.Search(len(ps), func(j int) bool { return ps[j].con.Val.S >= s }); i < len(ps); i++ {
-			ix.bump(ps[i].fx, visit)
+			ct.bump(ps[i].fx, visit)
 		}
 		ps = ap.gtStr
 		for i, hi := 0, sort.Search(len(ps), func(j int) bool { return ps[j].con.Val.S >= s }); i < hi; i++ {
-			ix.bump(ps[i].fx, visit)
+			ct.bump(ps[i].fx, visit)
 		}
 		ps = ap.geStr
 		for i, hi := 0, sort.Search(len(ps), func(j int) bool { return ps[j].con.Val.S > s }); i < hi; i++ {
-			ix.bump(ps[i].fx, visit)
+			ct.bump(ps[i].fx, visit)
 		}
 	}
 	for i := range ap.misc {
 		if ap.misc[i].con.Matches(v) {
-			ix.bump(ap.misc[i].fx, visit)
+			ct.bump(ap.misc[i].fx, visit)
 		}
 	}
 }
 
 // scanBucket is the binary-search bypass for degenerate values.
-func (ix *Index) scanBucket(ps []posting, v event.Value, visit func(string)) {
+func scanBucket(ps []posting, v event.Value, ct *countTable, visit func(string)) {
 	for i := range ps {
 		if ps[i].con.Matches(v) {
-			ix.bump(ps[i].fx, visit)
+			ct.bump(ps[i].fx, visit)
 		}
-	}
-}
-
-// bump records one satisfied constraint for fx's current count and emits
-// the filter once the count reaches its constraint total.
-func (ix *Index) bump(fx *ixFilter, visit func(string)) {
-	s := fx.slot
-	if ix.stamps[s] != ix.stamp {
-		ix.stamps[s] = ix.stamp
-		ix.counts[s] = 0
-	}
-	ix.counts[s]++
-	if ix.counts[s] == fx.total {
-		visit(fx.key)
 	}
 }

@@ -312,6 +312,16 @@ func TestBrokerDifferentialIndexVsLinear(t *testing.T) {
 }
 
 func runBrokerDifferential(t *testing.T, opts Options) {
+	optsLinear := opts
+	optsLinear.DisableIndex = true
+	runBrokerDifferentialPair(t, opts, optsLinear)
+}
+
+// runBrokerDifferentialPair drives two broker chains configured by optsA
+// and optsB through the same randomized workload and requires identical
+// observable behaviour — the shared engine behind the index-vs-linear
+// and sharded-vs-serial differential tests.
+func runBrokerDifferentialPair(t *testing.T, optsA, optsB Options) {
 	const (
 		brokers          = 3
 		clientsPerBroker = 2
@@ -320,10 +330,8 @@ func runBrokerDifferential(t *testing.T, opts Options) {
 		nEvents          = 240
 		seed             = 77
 	)
-	optsLinear := opts
-	optsLinear.DisableIndex = true
-	a := newDiffWorld(seed, brokers, clientsPerBroker, opts)       // counting index
-	b := newDiffWorld(seed, brokers, clientsPerBroker, optsLinear) // linear reference
+	a := newDiffWorld(seed, brokers, clientsPerBroker, optsA)
+	b := newDiffWorld(seed, brokers, clientsPerBroker, optsB)
 	worlds := []*diffWorld{a, b}
 	nClients := brokers * clientsPerBroker
 
@@ -467,8 +475,12 @@ func (n *nullEndpoint) Handle(string, netapi.Handler) {}
 // in a realistic Siena mix: every filter pins an event type (50 types),
 // most add a user equality, some add a numeric range.
 func benchBroker(subs int, disableIndex bool) (*Broker, []*event.Event) {
+	return benchBrokerOpts(subs, Options{DisableIndex: disableIndex})
+}
+
+func benchBrokerOpts(subs int, opts Options) (*Broker, []*event.Event) {
 	ep := &nullEndpoint{id: ids.FromString("bench-broker"), rng: rand.New(rand.NewSource(9))}
-	b := NewBroker(ep, Options{DisableIndex: disableIndex})
+	b := NewBroker(ep, opts)
 	rng := rand.New(rand.NewSource(13))
 	for i := 0; i < subs; i++ {
 		typ := fmt.Sprintf("type-%02d", i%50)

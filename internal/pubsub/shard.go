@@ -1,0 +1,260 @@
+package pubsub
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/gloss/active/internal/event"
+)
+
+// This file shards the counting predicate index by attribute so
+// independent publishes can match on separate cores. The posting lists
+// for one attribute live in exactly one shard (shard = hash(attribute
+// name) mod N), each shard guarded by its own RWMutex with a
+// single-writer discipline: a subscription add or drop write-locks only
+// the shards owning its constraints' attributes. A match is a pure
+// reader — it walks the event's attributes, probes each one's owning
+// shard under a read lock, and accumulates constraint counts in a
+// per-call pooled counting table, so any number of matches proceed in
+// parallel with each other and with unrelated-shard writers.
+//
+// The serial Index remains the reference implementation
+// (Options.MatchShards = 1); both paths run the identical probeAttr
+// engine over identical posting structures, and the differential tests
+// hold their delivery sets, Stats and forwarding state equal.
+
+// indexShard owns the postings of the attributes hashed to it.
+type indexShard struct {
+	mu    sync.RWMutex
+	attrs map[string]*attrPostings
+}
+
+// ShardedIndex is the concurrency-safe, attribute-sharded counting
+// index. Semantics under serial use are identical to Index. Under
+// concurrent use, Match is linearizable per filter: a filter whose
+// registration does not change during a match is reported exactly
+// according to Filter.Matches; filters added or removed concurrently
+// may or may not be reported for that event (exactly the race inherent
+// in concurrent subscribe/publish).
+//
+// The visit callback runs with internal locks held and must not call
+// back into the index.
+type ShardedIndex struct {
+	shards []*indexShard
+
+	// mu guards the filter table, slot space and empties list. Shard
+	// mutexes nest inside it (writers), never the reverse.
+	mu      sync.RWMutex
+	filters map[string]*ixFilter
+	slots   []*ixFilter
+	free    []int
+	empties []*ixFilter
+
+	// scratch pools counting tables so concurrent Match calls never
+	// share counters; a table costs O(slot space) and is reused.
+	scratch sync.Pool
+
+	seed maphash.Seed
+}
+
+// DefaultMatchShards is the shard count selected by MatchShards = 0:
+// one per core, capped — past ~8 shards, per-attribute lock striping
+// stops paying because events rarely carry more distinct attributes.
+func DefaultMatchShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// NewShardedIndex returns an empty index over n attribute shards.
+// n <= 0 selects DefaultMatchShards.
+func NewShardedIndex(n int) *ShardedIndex {
+	if n <= 0 {
+		n = DefaultMatchShards()
+	}
+	ix := &ShardedIndex{
+		shards:  make([]*indexShard, n),
+		filters: make(map[string]*ixFilter),
+		seed:    maphash.MakeSeed(),
+	}
+	for i := range ix.shards {
+		ix.shards[i] = &indexShard{attrs: make(map[string]*attrPostings)}
+	}
+	ix.scratch.New = func() any { return &countTable{} }
+	return ix
+}
+
+// Shards returns the shard count.
+func (ix *ShardedIndex) Shards() int { return len(ix.shards) }
+
+func (ix *ShardedIndex) shardOf(attr string) *indexShard {
+	return ix.shards[maphash.String(ix.seed, attr)%uint64(len(ix.shards))]
+}
+
+// Len returns the number of indexed filters.
+func (ix *ShardedIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.filters)
+}
+
+// Postings returns the total number of constraint postings.
+func (ix *ShardedIndex) Postings() int {
+	n := 0
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		for _, ap := range sh.attrs {
+			n += ap.size()
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// AttrCount returns the number of attributes with live postings.
+func (ix *ShardedIndex) AttrCount() int {
+	n := 0
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		n += len(sh.attrs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Attrs returns the indexed attribute names in sorted order.
+func (ix *ShardedIndex) Attrs() []string {
+	var out []string
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		for a := range sh.attrs {
+			out = append(out, a)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add indexes f under key (its Filter.Key). Adding an existing key is a
+// no-op, mirroring the broker's distinct-filter table.
+func (ix *ShardedIndex) Add(key string, f Filter) {
+	fx := &ixFilter{key: key, filter: f, total: len(f.Constraints)}
+	ix.mu.Lock()
+	if _, dup := ix.filters[key]; dup {
+		ix.mu.Unlock()
+		return
+	}
+	if n := len(ix.free); n > 0 {
+		fx.slot = ix.free[n-1]
+		ix.free = ix.free[:n-1]
+		ix.slots[fx.slot] = fx
+	} else {
+		fx.slot = len(ix.slots)
+		ix.slots = append(ix.slots, fx)
+	}
+	ix.filters[key] = fx
+	if fx.total == 0 {
+		ix.empties = append(ix.empties, fx)
+		ix.mu.Unlock()
+		return
+	}
+	ix.mu.Unlock()
+	for _, c := range f.Constraints {
+		sh := ix.shardOf(c.Attr)
+		sh.mu.Lock()
+		ap := sh.attrs[c.Attr]
+		if ap == nil {
+			ap = &attrPostings{}
+			sh.attrs[c.Attr] = ap
+		}
+		ps, kind := ap.bucket(c)
+		insertPosting(ps, kind, posting{con: c, fx: fx})
+		sh.mu.Unlock()
+	}
+}
+
+// Remove drops the filter indexed under key. Unknown keys are a no-op.
+// The slot is recycled only after every posting is gone, so a reused
+// slot can never alias a removed filter's still-indexed constraints.
+func (ix *ShardedIndex) Remove(key string) {
+	ix.mu.Lock()
+	fx := ix.filters[key]
+	if fx == nil {
+		ix.mu.Unlock()
+		return
+	}
+	delete(ix.filters, key)
+	if fx.total == 0 {
+		for i, e := range ix.empties {
+			if e == fx {
+				ix.empties = append(ix.empties[:i], ix.empties[i+1:]...)
+				break
+			}
+		}
+		ix.slots[fx.slot] = nil
+		ix.free = append(ix.free, fx.slot)
+		ix.mu.Unlock()
+		return
+	}
+	ix.mu.Unlock()
+	for _, c := range fx.filter.Constraints {
+		sh := ix.shardOf(c.Attr)
+		sh.mu.Lock()
+		if ap := sh.attrs[c.Attr]; ap != nil {
+			ps, kind := ap.bucket(c)
+			removePosting(ps, kind, posting{con: c, fx: fx})
+			if ap.empty() {
+				delete(sh.attrs, c.Attr)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	ix.mu.Lock()
+	ix.slots[fx.slot] = nil
+	ix.free = append(ix.free, fx.slot)
+	ix.mu.Unlock()
+}
+
+// Match invokes visit for the key of every indexed filter the event
+// satisfies. Under serial use each matching key is visited exactly once,
+// like Index.Match; see the type comment for the guarantee under
+// concurrent mutation. Safe for any number of concurrent callers.
+func (ix *ShardedIndex) Match(ev *event.Event, visit func(key string)) {
+	ct := ix.scratch.Get().(*countTable)
+	ct.begin()
+	ix.mu.RLock()
+	for _, fx := range ix.empties {
+		visit(fx.key)
+	}
+	ix.mu.RUnlock()
+	ix.probe("type", event.S(ev.Type), ct, visit)
+	ix.probe("source", event.S(ev.Source), ct, visit)
+	ix.probe("time", event.I(int64(ev.Time)), ct, visit)
+	for name, v := range ev.Attrs {
+		switch name {
+		case "type", "source", "time":
+			continue
+		}
+		ix.probe(name, v, ct, visit)
+	}
+	ix.scratch.Put(ct)
+}
+
+// probe routes one attribute to its owning shard and runs the shared
+// match engine under the shard's read lock.
+func (ix *ShardedIndex) probe(name string, v event.Value, ct *countTable, visit func(string)) {
+	sh := ix.shardOf(name)
+	sh.mu.RLock()
+	if ap := sh.attrs[name]; ap != nil {
+		probeAttr(ap, v, ct, visit)
+	}
+	sh.mu.RUnlock()
+}

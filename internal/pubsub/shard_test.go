@@ -1,0 +1,224 @@
+package pubsub
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedIndexDifferential drives the serial Index and a ShardedIndex
+// through the same mutating add/remove/match stream and requires
+// identical visit sets every round — the shard partitioning must be
+// invisible to matching semantics.
+func TestShardedIndexDifferential(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(43))
+			ref := NewIndex()
+			six := NewShardedIndex(shards)
+			live := map[string]Filter{}
+			var keys []string
+
+			for round := 0; round < 1200; round++ {
+				switch {
+				case round%3 == 0 || len(keys) == 0:
+					f := ixRandFilter(rng)
+					key := f.Key()
+					if _, dup := live[key]; !dup {
+						live[key] = f
+						keys = append(keys, key)
+					}
+					ref.Add(key, f)
+					six.Add(key, f)
+				case round%7 == 0:
+					i := rng.Intn(len(keys))
+					key := keys[i]
+					ref.Remove(key)
+					six.Remove(key)
+					delete(live, key)
+					keys = append(keys[:i], keys[i+1:]...)
+				}
+
+				ev := ixRandEvent(rng, uint64(round))
+				want := map[string]bool{}
+				ref.Match(ev, func(key string) { want[key] = true })
+				got := map[string]bool{}
+				six.Match(ev, func(key string) {
+					if got[key] {
+						t.Fatalf("round %d: filter %q visited twice", round, key)
+					}
+					got[key] = true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("round %d: sharded matched %d filters, serial %d", round, len(got), len(want))
+				}
+				for key := range want {
+					if !got[key] {
+						t.Fatalf("round %d: sharded missed filter %q", round, key)
+					}
+				}
+			}
+			if ref.Len() != six.Len() {
+				t.Fatalf("Len diverges: serial %d, sharded %d", ref.Len(), six.Len())
+			}
+			if ref.Postings() != six.Postings() {
+				t.Fatalf("Postings diverges: serial %d, sharded %d", ref.Postings(), six.Postings())
+			}
+			if ref.AttrCount() != six.AttrCount() {
+				t.Fatalf("AttrCount diverges: serial %d, sharded %d", ref.AttrCount(), six.AttrCount())
+			}
+			if fmt.Sprint(ref.Attrs()) != fmt.Sprint(six.Attrs()) {
+				t.Fatalf("Attrs diverge:\nserial:  %v\nsharded: %v", ref.Attrs(), six.Attrs())
+			}
+		})
+	}
+}
+
+// TestBrokerDifferentialShardedVsSerial runs the full broker-chain
+// differential with the sharded index against the single-shard serial
+// reference: delivery sets, Stats, table contents and forwarding state
+// must all be identical.
+func TestBrokerDifferentialShardedVsSerial(t *testing.T) {
+	for _, useAdverts := range []bool{false, true} {
+		t.Run(fmt.Sprintf("adverts=%v", useAdverts), func(t *testing.T) {
+			runBrokerDifferentialPair(t,
+				Options{MatchShards: 8, UseAdvertisements: useAdverts},
+				Options{MatchShards: 1, UseAdvertisements: useAdverts})
+		})
+	}
+}
+
+// TestShardedIndexConcurrentStress publishes concurrently across shards
+// while subscriptions churn — run under -race in CI. A core of stable
+// filters never changes during the run, so every concurrent match must
+// report each of them exactly per Filter.Matches (concurrently churning
+// filters are allowed to be raced over, stable ones are not). After the
+// churners quiesce the index must be equivalent to a serial reference
+// rebuilt from the stable set alone.
+func TestShardedIndexConcurrentStress(t *testing.T) {
+	const (
+		nStable    = 48
+		publishers = 4
+		churners   = 2
+		nMatches   = 400
+		nChurns    = 300
+	)
+	six := NewShardedIndex(4)
+	ref := NewIndex()
+	stable := map[string]Filter{}
+	rng := rand.New(rand.NewSource(99))
+	for len(stable) < nStable {
+		f := ixRandFilter(rng)
+		if len(f.Constraints) == 0 {
+			continue // zero-constraint filters match everything; keep selectivity
+		}
+		key := f.Key()
+		if _, dup := stable[key]; dup {
+			continue
+		}
+		stable[key] = f
+		six.Add(key, f)
+		ref.Add(key, f)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, publishers)
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < nMatches; i++ {
+				ev := ixRandEvent(rng, uint64(i))
+				got := map[string]bool{}
+				six.Match(ev, func(key string) { got[key] = true })
+				for key, f := range stable {
+					if want := f.Matches(ev); want != got[key] {
+						errs <- fmt.Errorf("stable filter %q: match=%v want %v for event %v",
+							key, got[key], want, ev.Attrs)
+						return
+					}
+				}
+			}
+		}(int64(1000 + p))
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []string
+			for i := 0; i < nChurns; i++ {
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					j := rng.Intn(len(mine))
+					six.Remove(mine[j])
+					mine = append(mine[:j], mine[j+1:]...)
+					continue
+				}
+				f := ixRandFilter(rng)
+				key := fmt.Sprintf("churn-%d-%s", seed, f.Key())
+				six.Add(key, f)
+				mine = append(mine, key)
+			}
+			for _, key := range mine {
+				six.Remove(key)
+			}
+		}(int64(2000 + c))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: all churned filters withdrawn, so the index must be
+	// exactly the stable set again.
+	if six.Len() != len(stable) {
+		t.Fatalf("after churn: %d filters live, want %d", six.Len(), len(stable))
+	}
+	if six.Postings() != ref.Postings() {
+		t.Fatalf("after churn: %d postings, reference %d", six.Postings(), ref.Postings())
+	}
+	for i := 0; i < 200; i++ {
+		ev := ixRandEvent(rng, uint64(50_000+i))
+		want := map[string]bool{}
+		ref.Match(ev, func(key string) { want[key] = true })
+		got := map[string]bool{}
+		six.Match(ev, func(key string) { got[key] = true })
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("post-quiescence divergence on event %v:\nsharded: %v\nserial:  %v",
+				ev.Attrs, got, want)
+		}
+	}
+}
+
+// BenchmarkShardedPublish measures concurrent match throughput at 10k
+// subscriptions as the shard count grows (E-T14's engine). The serial
+// reference index is not safe for concurrent matching, so its parallel
+// baseline serialises behind a mutex — exactly the alternative a
+// multi-core broker would otherwise face.
+func BenchmarkShardedPublish(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		br, evs := benchBrokerOpts(10000, Options{MatchShards: shards})
+		var mu sync.Mutex
+		serial := shards == 1
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					ev := evs[i%len(evs)]
+					i++
+					if serial {
+						mu.Lock()
+					}
+					br.index.Match(ev, func(string) {})
+					if serial {
+						mu.Unlock()
+					}
+				}
+			})
+		})
+	}
+}

@@ -5,8 +5,12 @@
 // The model: nodes live at planar coordinates (km); message latency is
 // base + distance·perKm + jitter; messages may be lost with a configured
 // probability; links can be severed (partitions) and nodes killed
-// (churn). The entire world executes on a single goroutine driven by a
-// vclock.Scheduler, so every run with the same seed is bit-identical.
+// (churn). By default the entire world executes on a single goroutine
+// driven by a vclock.Scheduler, so every run with the same seed is
+// bit-identical. With Config.Shards > 1 the world is split into that
+// many execution partitions (nodes round-robined over per-partition
+// schedulers) and runs conservatively in BaseLatency-sized epochs across
+// cores — still deterministic for a fixed seed and partition count.
 package simnet
 
 import (
@@ -17,12 +21,20 @@ import (
 
 	"github.com/gloss/active/internal/ids"
 	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/nodecfg"
 	"github.com/gloss/active/internal/vclock"
 	"github.com/gloss/active/internal/wire"
 )
 
 // Config parameterises a World.
 type Config struct {
+	// Common is the node-configuration block shared with the TCP
+	// transport (see internal/nodecfg). The simulator consumes
+	// Common.Shards as its execution-partition count and
+	// Common.OutboxHighWater/OutboxLowWater as budget defaults; a
+	// substrate-specific field below, when set, wins over the Common
+	// value it shadows.
+	nodecfg.Common
 	// Seed drives all randomness (jitter, loss, node RNGs).
 	Seed int64
 	// BaseLatency is the fixed per-message cost. Default 1ms.
@@ -78,8 +90,20 @@ func (c *Config) applyDefaults() {
 	if c.Jitter == 0 {
 		c.Jitter = 200 * time.Microsecond
 	}
+	// The deprecated substrate-local watermark fields shadow the embedded
+	// nodecfg.Common ones; adopt the Common values where the old fields
+	// are unset so either spelling configures the budget.
+	if c.OutboxHighWater == 0 {
+		c.OutboxHighWater = c.Common.OutboxHighWater
+	}
+	if c.OutboxLowWater == 0 {
+		c.OutboxLowWater = c.Common.OutboxLowWater
+	}
 	if c.OutboxHighWater > 0 && c.OutboxLowWater == 0 {
 		c.OutboxLowWater = c.OutboxHighWater / 2
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
 	}
 }
 
@@ -111,20 +135,53 @@ type Metrics struct {
 type LinkFilter func(from, to ids.ID) bool
 
 // World is the simulated network.
+//
+// With one execution partition (the default) everything runs on the
+// caller's goroutine, exactly as before. With Config.Shards > 1 each
+// partition owns a scheduler, an RNG, a metrics block and a delivery
+// batcher, and RunUntil drives them concurrently in conservative epochs
+// of BaseLatency (the network's minimum delay, hence a safe lookahead):
+// within an epoch a partition only executes its own nodes, every
+// cross-partition message is parked in the sending partition's mailbox,
+// and the epoch barrier migrates mailboxes into the destination wheels
+// — in partition order, so the merge is deterministic. Topology
+// mutation (NewNode, Kill, SetLinkFilter, ...) is only legal while the
+// world is quiescent, i.e. outside RunUntil.
 type World struct {
-	cfg     Config
-	codec   wire.Codec // nil-normalised view of cfg.Codec
-	sched   *vclock.Scheduler
-	rng     *rand.Rand
-	nodes   map[ids.ID]*Node
-	order   []*Node // creation order, for deterministic iteration
-	filter  LinkFilter
+	cfg    Config
+	codec  wire.Codec // nil-normalised view of cfg.Codec
+	parts  []*worldPart
+	runner *vclock.Partitioned // non-nil iff len(parts) > 1
+	nodes  map[ids.ID]*Node
+	order  []*Node // creation order, for deterministic iteration
+	filter LinkFilter
+}
+
+// worldPart is one execution partition: the complete per-core slice of
+// world state, so an epoch touches nothing shared.
+type worldPart struct {
+	sched *vclock.Scheduler
+	rng   *rand.Rand
+	// metrics counts what this partition observed (sends by resident
+	// senders, deliveries to resident destinations); World.Metrics sums.
 	metrics Metrics
 	// batches coalesces in-flight messages bound for the same destination
 	// at the same instant into one scheduler event (the simulation mirror
 	// of the TCP transport's frame batching). Entries are removed when
 	// the batch fires.
 	batches map[batchKey]*delivBatch
+	// mail holds messages sent from this partition to nodes of another,
+	// in send order, awaiting the epoch barrier.
+	mail []mailMsg
+}
+
+// mailMsg is one cross-partition message in flight to the epoch barrier.
+// Its sender-side budget release is already scheduled on the sender's
+// own wheel, so delivery owes none.
+type mailMsg struct {
+	dest *Node
+	env  *wire.Envelope
+	at   time.Duration // absolute delivery deadline; >= next epoch barrier
 }
 
 // batchKey identifies one coalesced delivery: a destination and the
@@ -151,16 +208,51 @@ func NewWorld(cfg Config) *World {
 		panic(fmt.Sprintf("simnet: OutboxLowWater %d exceeds OutboxHighWater %d",
 			cfg.OutboxLowWater, cfg.OutboxHighWater))
 	}
-	return &World{
+	w := &World{
 		cfg:   cfg,
 		codec: normalizeCodec(cfg.Codec),
-		sched: vclock.NewScheduler(),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: make(map[ids.ID]*Node),
-		metrics: Metrics{
-			ByKind: make(map[string]uint64),
-		},
-		batches: make(map[batchKey]*delivBatch),
+		parts: make([]*worldPart, cfg.Shards),
+	}
+	for i := range w.parts {
+		seed := cfg.Seed
+		if i > 0 {
+			// Partition 0 keeps the plain world seed so a one-partition
+			// world is bit-identical to the historical single-scheduler
+			// one; the rest get decorrelated streams.
+			seed ^= int64(uint64(i) * 0x9E3779B97F4A7C15)
+		}
+		w.parts[i] = &worldPart{
+			sched:   vclock.NewScheduler(),
+			rng:     rand.New(rand.NewSource(seed)),
+			metrics: Metrics{ByKind: make(map[string]uint64)},
+			batches: make(map[batchKey]*delivBatch),
+		}
+	}
+	if len(w.parts) > 1 {
+		scheds := make([]*vclock.Scheduler, len(w.parts))
+		for i, p := range w.parts {
+			scheds[i] = p.sched
+		}
+		w.runner = &vclock.Partitioned{
+			Scheds:    scheds,
+			Lookahead: cfg.BaseLatency,
+			Exchange:  w.exchange,
+		}
+	}
+	return w
+}
+
+// exchange is the epoch-barrier callback: it migrates every partition's
+// outbound mail into the destination partitions' wheels. Iteration is
+// partition order then send order — deterministic given deterministic
+// epochs. It runs with all partition goroutines quiescent.
+func (w *World) exchange(time.Duration) {
+	for _, src := range w.parts {
+		for _, m := range src.mail {
+			w.enqueueAt(w.parts[m.dest.part], m.dest, m.env, -1, m.at)
+		}
+		src.mail = src.mail[:0]
 	}
 }
 
@@ -187,31 +279,57 @@ func normalizeCodec(c wire.Codec) wire.Codec {
 	return c
 }
 
-// Sched exposes the underlying scheduler.
-func (w *World) Sched() *vclock.Scheduler { return w.sched }
+// Sched exposes the underlying scheduler — partition 0's when the world
+// is partitioned, so callers that drive time directly should use the
+// World's own Run methods instead in that mode.
+func (w *World) Sched() *vclock.Scheduler { return w.parts[0].sched }
 
-// Now returns current virtual time.
-func (w *World) Now() time.Duration { return w.sched.Now() }
+// ExecPartitions returns the number of execution partitions (1 = the
+// serial world).
+func (w *World) ExecPartitions() int { return len(w.parts) }
+
+// Now returns current virtual time. All partitions agree whenever the
+// world is quiescent.
+func (w *World) Now() time.Duration { return w.parts[0].sched.Now() }
 
 // RunUntil advances virtual time to t, executing all due events.
-func (w *World) RunUntil(t time.Duration) { w.sched.RunUntil(t) }
+func (w *World) RunUntil(t time.Duration) {
+	if w.runner != nil {
+		w.runner.RunUntil(t)
+		return
+	}
+	w.parts[0].sched.RunUntil(t)
+}
 
 // RunFor advances virtual time by d.
-func (w *World) RunFor(d time.Duration) { w.sched.RunFor(d) }
+func (w *World) RunFor(d time.Duration) { w.RunUntil(w.Now() + d) }
 
-// Metrics returns a snapshot of traffic counters.
+// Metrics returns a snapshot of traffic counters, summed over execution
+// partitions.
 func (w *World) Metrics() Metrics {
-	m := w.metrics
-	m.ByKind = make(map[string]uint64, len(w.metrics.ByKind))
-	for k, v := range w.metrics.ByKind {
-		m.ByKind[k] = v
+	var m Metrics
+	m.ByKind = make(map[string]uint64)
+	for _, p := range w.parts {
+		m.Sent += p.metrics.Sent
+		m.Delivered += p.metrics.Delivered
+		m.Dropped += p.metrics.Dropped
+		m.DroppedOverflow += p.metrics.DroppedOverflow
+		m.Bytes += p.metrics.Bytes
+		m.Unhandled += p.metrics.Unhandled
+		m.FlushEvents += p.metrics.FlushEvents
+		m.BatchedMsgs += p.metrics.BatchedMsgs
+		for k, v := range p.metrics.ByKind {
+			m.ByKind[k] += v
+		}
 	}
 	return m
 }
 
 // ResetMetrics zeroes all counters (between benchmark phases).
 func (w *World) ResetMetrics() {
-	w.metrics = Metrics{ByKind: make(map[string]uint64)}
+	for _, p := range w.parts {
+		p.metrics = Metrics{ByKind: make(map[string]uint64)}
+	}
 }
 
 // SetLinkFilter installs f as the connectivity predicate (nil allows all).
@@ -237,6 +355,7 @@ func (w *World) Partition(groups ...[]ids.ID) {
 // Node is a simulated host. It implements netapi.Endpoint.
 type Node struct {
 	world    *World
+	part     int // execution partition (creation index mod partitions)
 	info     netapi.NodeInfo
 	rng      *rand.Rand
 	alive    bool
@@ -271,6 +390,7 @@ func (w *World) NewNode(id ids.ID, region string, coord netapi.Coord) *Node {
 	seed := int64(binary.BigEndian.Uint64(id[:8])) ^ w.cfg.Seed
 	n := &Node{
 		world:    w,
+		part:     len(w.order) % len(w.parts),
 		info:     netapi.NodeInfo{ID: id, Region: region, Coord: coord},
 		rng:      rand.New(rand.NewSource(seed)),
 		alive:    true,
@@ -370,8 +490,12 @@ func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb ne
 	n.world.transmit(n, env)
 }
 
-// transmit queues env for delivery after the modelled latency.
+// transmit queues env for delivery after the modelled latency. It runs
+// on the sending node's partition: everything it touches is either that
+// partition's slice of the world, the sender's own state, or the
+// read-only topology.
 func (w *World) transmit(from *Node, env *wire.Envelope) {
+	p := w.parts[from.part]
 	// One Size pass serves both byte metrics and the outbox budget.
 	budget := w.cfg.OutboxHighWater > 0
 	size, sized := 0, false
@@ -389,17 +513,17 @@ func (w *World) transmit(from *Node, env *wire.Envelope) {
 		size = 1
 	}
 	if !w.cfg.DisableMetrics {
-		w.metrics.Sent++
+		p.metrics.Sent++
 		if env.Msg != nil {
-			w.metrics.ByKind[env.Msg.Kind()]++
+			p.metrics.ByKind[env.Msg.Kind()]++
 			// Byte accounting is skipped entirely without a codec.
 			if sized {
-				w.metrics.Bytes += uint64(size)
+				p.metrics.Bytes += uint64(size)
 			}
 		}
 	}
 	if !from.alive {
-		w.drop()
+		w.drop(p)
 		return
 	}
 	// Outbox-budget mirror: the sender-side gate sits before the wire
@@ -408,22 +532,22 @@ func (w *World) transmit(from *Node, env *wire.Envelope) {
 	if budget && !wire.Control(env.Msg) && from.outBytes[env.To] >= w.cfg.OutboxHighWater {
 		from.outOver[env.To] = true
 		if !w.cfg.DisableMetrics {
-			w.metrics.Dropped++
-			w.metrics.DroppedOverflow++
+			p.metrics.Dropped++
+			p.metrics.DroppedOverflow++
 		}
 		return
 	}
 	if w.filter != nil && !w.filter(env.From, env.To) {
-		w.drop()
+		w.drop(p)
 		return
 	}
-	if w.cfg.LossRate > 0 && w.rng.Float64() < w.cfg.LossRate {
-		w.drop()
+	if w.cfg.LossRate > 0 && p.rng.Float64() < w.cfg.LossRate {
+		w.drop(p)
 		return
 	}
 	dest, ok := w.nodes[env.To]
 	if !ok {
-		w.drop()
+		w.drop(p)
 		return
 	}
 	if budget {
@@ -432,8 +556,22 @@ func (w *World) transmit(from *Node, env *wire.Envelope) {
 			from.outOver[env.To] = true
 		}
 	}
-	lat := w.latency(from.info.Coord, dest.info.Coord)
-	w.enqueue(dest, env, size, lat)
+	lat := w.latency(p, from.info.Coord, dest.info.Coord)
+	at := p.sched.Now() + lat
+	if dest.part == from.part {
+		w.enqueueAt(p, dest, env, size, at)
+		return
+	}
+	// Cross-partition: the message waits in this partition's mailbox
+	// until the epoch barrier. Latency is at least the lookahead
+	// (BaseLatency), so the deadline is at or past the barrier and the
+	// destination cannot have run beyond it. The budget release mutates
+	// sender state, so it is scheduled here on the sender's own wheel at
+	// the delivery instant rather than ridden on the remote delivery.
+	if budget {
+		p.sched.After(lat, func() { w.releaseOut(env, size) })
+	}
+	p.mail = append(p.mail, mailMsg{dest: dest, env: env, at: at})
 }
 
 // releaseOut retires a landed message from its sender's in-flight
@@ -460,11 +598,15 @@ func (w *World) releaseOut(env *wire.Envelope, size int) {
 	}
 }
 
-// enqueue schedules env for delivery lat from now. Messages landing at
-// the same destination at the same instant share one scheduler event —
-// with DisableJitter and a fixed-latency link, a whole publish fan-out
-// to a node becomes a single batch. Send order within a batch is
-// preserved, matching the scheduler's FIFO tiebreak for equal times.
+// enqueueAt schedules env for delivery at the absolute instant at, on
+// the destination's partition p. Messages landing at the same
+// destination at the same instant share one scheduler event — with
+// DisableJitter and a fixed-latency link, a whole publish fan-out to a
+// node becomes a single batch, and a cross-partition message merged at
+// the epoch barrier coalesces into the same batch a local send opened.
+// Send order within a batch is preserved, matching the scheduler's FIFO
+// tiebreak for equal times. size < 0 marks a message whose budget
+// release is owed elsewhere (cross-partition mail).
 //
 // Known (deterministic) deviation from the unbatched scheduler: when
 // sends to two destinations interleave at one instant (m1→A, m2→B,
@@ -473,16 +615,16 @@ func (w *World) releaseOut(env *wire.Envelope, size int) {
 // same-instant collision with interleaved destinations — impossible
 // under default jitter in practice, and an accepted trade under
 // DisableJitter where batching is the point.
-func (w *World) enqueue(dest *Node, env *wire.Envelope, size int, lat time.Duration) {
+func (w *World) enqueueAt(p *worldPart, dest *Node, env *wire.Envelope, size int, at time.Duration) {
 	budget := w.cfg.OutboxHighWater > 0
-	key := batchKey{to: env.To, at: w.sched.Now() + lat}
-	if b, ok := w.batches[key]; ok {
+	key := batchKey{to: env.To, at: at}
+	if b, ok := p.batches[key]; ok {
 		b.envs = append(b.envs, env)
 		if budget {
 			b.sizes = append(b.sizes, size)
 		}
 		if !w.cfg.DisableMetrics {
-			w.metrics.BatchedMsgs++
+			p.metrics.BatchedMsgs++
 		}
 		return
 	}
@@ -490,29 +632,31 @@ func (w *World) enqueue(dest *Node, env *wire.Envelope, size int, lat time.Durat
 	if budget {
 		b.sizes = []int{size}
 	}
-	w.batches[key] = b
-	w.sched.After(lat, func() {
-		delete(w.batches, key)
+	p.batches[key] = b
+	p.sched.After(at-p.sched.Now(), func() {
+		delete(p.batches, key)
 		if !w.cfg.DisableMetrics {
-			w.metrics.FlushEvents++
+			p.metrics.FlushEvents++
 		}
 		for i, e := range b.envs {
 			// The budget releases on landing whether or not the
 			// destination is still alive — the sender-side queue emptied
-			// either way.
-			if budget {
+			// either way. Cross-partition messages (size < 0) released on
+			// their sender's wheel instead.
+			if budget && b.sizes[i] >= 0 {
 				w.releaseOut(e, b.sizes[i])
 			}
-			w.deliver(dest, e)
+			w.deliver(p, dest, e)
 		}
 	})
 }
 
-// latency computes the delay between two coordinates.
-func (w *World) latency(a, b netapi.Coord) time.Duration {
+// latency computes the delay between two coordinates, drawing jitter
+// from the sending partition's RNG.
+func (w *World) latency(p *worldPart, a, b netapi.Coord) time.Duration {
 	d := w.cfg.BaseLatency + time.Duration(a.DistanceKm(b)*float64(w.cfg.LatencyPerKm))
 	if !w.cfg.DisableJitter && w.cfg.Jitter > 0 {
-		d += time.Duration(w.rng.Int63n(int64(w.cfg.Jitter)))
+		d += time.Duration(p.rng.Int63n(int64(w.cfg.Jitter)))
 	}
 	return d
 }
@@ -528,19 +672,20 @@ func (w *World) Latency(a, b ids.ID) time.Duration {
 }
 
 // drop counts a dropped message unless metrics are disabled.
-func (w *World) drop() {
+func (w *World) drop(p *worldPart) {
 	if !w.cfg.DisableMetrics {
-		w.metrics.Dropped++
+		p.metrics.Dropped++
 	}
 }
 
-func (w *World) deliver(dest *Node, env *wire.Envelope) {
+// deliver runs on the destination's partition p.
+func (w *World) deliver(p *worldPart, dest *Node, env *wire.Envelope) {
 	if !dest.alive {
-		w.drop()
+		w.drop(p)
 		return
 	}
 	if !w.cfg.DisableMetrics {
-		w.metrics.Delivered++
+		p.metrics.Delivered++
 	}
 	if env.IsReply {
 		p, ok := dest.pending[env.CorrID]
@@ -562,7 +707,7 @@ func (w *World) deliver(dest *Node, env *wire.Envelope) {
 	h, ok := dest.handlers[env.Msg.Kind()]
 	if !ok {
 		if !w.cfg.DisableMetrics {
-			w.metrics.Unhandled++
+			p.metrics.Unhandled++
 		}
 		return
 	}
@@ -610,19 +755,23 @@ func (c *msgCtx) ReplyErr(err error) {
 	c.node.world.transmit(c.node, reply)
 }
 
-// nodeClock wraps the world scheduler, suppressing callbacks that fire
-// after the node has been killed.
+// nodeClock wraps the node's partition scheduler, suppressing callbacks
+// that fire after the node has been killed. Timers stay partition-local:
+// a node's own future work always runs on its own partition.
 type nodeClock struct {
 	node *Node
 }
 
 var _ vclock.Clock = (*nodeClock)(nil)
 
-func (c *nodeClock) Now() time.Duration { return c.node.world.sched.Now() }
+func (c *nodeClock) Now() time.Duration {
+	n := c.node
+	return n.world.parts[n.part].sched.Now()
+}
 
 func (c *nodeClock) After(d time.Duration, fn func()) vclock.Timer {
 	n := c.node
-	return n.world.sched.After(d, func() {
+	return n.world.parts[n.part].sched.After(d, func() {
 		if n.alive {
 			fn()
 		}

@@ -28,6 +28,7 @@ import (
 
 	"github.com/gloss/active/internal/ids"
 	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/nodecfg"
 	"github.com/gloss/active/internal/vclock"
 	"github.com/gloss/active/internal/wire"
 )
@@ -82,6 +83,14 @@ func RegisterMessages(r *wire.Registry) { r.Register(&HelloMsg{}) }
 
 // Options configure a TCP node.
 type Options struct {
+	// Common is the node-configuration block shared with the simulated
+	// substrate (see internal/nodecfg): codec preference, outbox
+	// watermarks and the per-peer budget override can be set once there
+	// and handed to either transport.Options or simnet.Config. The
+	// substrate-specific fields below shadow their Common counterparts;
+	// when both are set the (older, deprecated-but-working) outer field
+	// wins.
+	nodecfg.Common
 	// Listen is the TCP listen address (e.g. "127.0.0.1:0").
 	Listen string
 	// Region and Coord describe the node for placement policies.
@@ -143,6 +152,20 @@ func (o *Options) applyDefaults() {
 	}
 	if o.DialTimeout == 0 {
 		o.DialTimeout = 3 * time.Second
+	}
+	// Adopt values from the embedded nodecfg.Common wherever the
+	// shadowing substrate-local field was left unset.
+	if o.Codec == "" {
+		o.Codec = o.Common.Codec
+	}
+	if o.OutboxHighWater == 0 {
+		o.OutboxHighWater = o.Common.OutboxHighWater
+	}
+	if o.OutboxLowWater == 0 {
+		o.OutboxLowWater = o.Common.OutboxLowWater
+	}
+	if o.PeerBudget == nil && o.Common.PeerBudget != nil {
+		o.PeerBudget = o.Common.PeerBudget
 	}
 	if o.OutboxHighWater == 0 {
 		o.OutboxHighWater = 1 << 20
@@ -890,9 +913,14 @@ func (n *Node) readLoop(conn net.Conn) {
 // byte: binary frames start with wire.BinaryMagic, XML frames with '<'.
 // Both are accepted on every connection regardless of preference, so a
 // codec mismatch can never wedge a link mid-negotiation.
+//
+// Binary frames decode in borrow mode: each frame is a fresh buffer
+// (readFrame) handed off wholesale to the decoded envelope, so strings
+// can alias it instead of copying — the PubMsg/DeliverMsg hot path
+// decodes an event without one allocation per attribute.
 func (n *Node) decodeFrame(frame []byte) (*wire.Envelope, error) {
 	if wire.IsBinaryFrame(frame) {
-		return n.codec.Load().bin.Decode(frame)
+		return n.codec.Load().bin.DecodeBorrow(frame)
 	}
 	return n.reg.Decode(frame)
 }

@@ -1,0 +1,96 @@
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Partitioned coordinates several independent Schedulers with the
+// classic conservative (lookahead-based) parallel discrete-event
+// discipline: virtual time advances in epochs of Lookahead, every
+// partition executes its own wheel for one epoch on its own goroutine,
+// and at each epoch boundary the Exchange callback runs on the caller's
+// goroutine to migrate cross-partition events.
+//
+// Correctness rests on one invariant the caller must uphold: an event
+// produced in one partition for another is always scheduled at least
+// Lookahead after the virtual instant that produced it. Then nothing a
+// peer does during an epoch can affect this epoch — every
+// cross-partition effect lands at or after the next boundary, where
+// Exchange installs it before any partition proceeds. Within a
+// partition ordering is exactly the serial Scheduler's; across
+// partitions, determinism follows from Exchange iterating its mailboxes
+// in a deterministic order.
+type Partitioned struct {
+	Scheds    []*Scheduler
+	Lookahead time.Duration
+	// Exchange is called with each epoch boundary after every partition
+	// has advanced to it (all partition goroutines are quiescent). It may
+	// schedule onto any partition's wheel; deadlines must be >= boundary.
+	// Optional.
+	Exchange func(boundary time.Duration)
+}
+
+// RunUntil advances every partition to t, inclusive, epoch by epoch.
+// Like Scheduler.RunUntil, events due exactly at t are executed.
+func (p *Partitioned) RunUntil(t time.Duration) {
+	if p.Lookahead <= 0 {
+		panic("vclock: Partitioned requires positive Lookahead")
+	}
+	cur := p.Scheds[0].Now()
+	for cur < t {
+		boundary := cur + p.Lookahead
+		if boundary > t {
+			boundary = t
+		}
+		p.each(func(s *Scheduler) { s.RunBefore(boundary) })
+		if p.Exchange != nil {
+			p.Exchange(boundary)
+		}
+		cur = boundary
+	}
+	// Events due exactly at t run last, matching serial RunUntil's
+	// inclusive bound; anything they emit cross-partition is due >= t +
+	// Lookahead and is parked by Exchange for a later run.
+	p.each(func(s *Scheduler) { s.RunUntil(t) })
+	if p.Exchange != nil {
+		p.Exchange(t)
+	}
+}
+
+// each runs f over every partition concurrently and waits for all.
+// The WaitGroup barrier gives Exchange a happens-before edge over every
+// partition's epoch work.
+func (p *Partitioned) each(f func(*Scheduler)) {
+	if len(p.Scheds) == 1 {
+		f(p.Scheds[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, s := range p.Scheds {
+		wg.Add(1)
+		go func(s *Scheduler) {
+			defer wg.Done()
+			f(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Pending sums pending events across partitions.
+func (p *Partitioned) Pending() int {
+	n := 0
+	for _, s := range p.Scheds {
+		n += s.Pending()
+	}
+	return n
+}
+
+// Steps sums executed events across partitions.
+func (p *Partitioned) Steps() uint64 {
+	n := uint64(0)
+	for _, s := range p.Scheds {
+		n += s.Steps()
+	}
+	return n
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"unsafe"
 
 	"github.com/gloss/active/internal/ids"
 )
@@ -102,13 +103,24 @@ func AppendID(b []byte, id ids.ID) []byte {
 // Err reports what went wrong. Malformed input can never panic — lengths
 // are validated against the remaining buffer before any allocation.
 type BinReader struct {
-	buf []byte
-	off int
-	err error
+	buf    []byte
+	off    int
+	err    error
+	borrow bool
 }
 
 // NewBinReader wraps buf for reading.
 func NewBinReader(buf []byte) *BinReader { return &BinReader{buf: buf} }
+
+// NewBinReaderBorrowed wraps buf for borrowing reads: String returns
+// views over buf instead of copies (see Borrowed). Use only when buf is
+// immutable for the life of everything decoded from it.
+func NewBinReaderBorrowed(buf []byte) *BinReader {
+	return &BinReader{buf: buf, borrow: true}
+}
+
+// Borrowed reports whether String returns views over the input buffer.
+func (r *BinReader) Borrowed() bool { return r.borrow }
 
 // Err returns the first decoding error, or nil.
 func (r *BinReader) Err() error { return r.err }
@@ -193,8 +205,23 @@ func (r *BinReader) Bytes() []byte {
 	return out
 }
 
-// String reads a length-prefixed string.
-func (r *BinReader) String() string { return string(r.Bytes()) }
+// String reads a length-prefixed string. A plain reader copies; a
+// borrowed reader (NewBinReaderBorrowed) returns a view sharing the
+// input buffer's storage — zero allocations, at the price of pinning
+// the buffer for as long as any returned string lives. The hot decode
+// path (events with many attributes) is why the mode exists: copying
+// every type, source, attribute name and string value made decode
+// allocation the ceiling once matching went shard-parallel.
+func (r *BinReader) String() string {
+	b := r.Bytes()
+	if len(b) == 0 {
+		return ""
+	}
+	if r.borrow {
+		return unsafe.String(&b[0], len(b))
+	}
+	return string(b)
+}
 
 // Bool reads one byte as a boolean.
 func (r *BinReader) Bool() bool {
@@ -381,8 +408,24 @@ func (c *BinaryCodec) appendEnvelope(b []byte, env *Envelope, s *SharedBody) ([]
 	return b, nil
 }
 
-// Decode implements Codec.
+// Decode implements Codec. Every decoded string is an independent copy;
+// the frame may be reused or mutated afterwards.
 func (c *BinaryCodec) Decode(data []byte) (*Envelope, error) {
+	return c.decode(data, false)
+}
+
+// DecodeBorrow parses a frame like Decode, but strings in the decoded
+// messages (event types, sources, attribute names and values, filter
+// constraints …) are views borrowing the frame's storage rather than
+// copies. The caller must guarantee data is never mutated or recycled —
+// the transport qualifies, since it allocates a fresh buffer per
+// received frame — and accepts that retaining any decoded string (a
+// frozen event in a proxy buffer, say) pins the whole frame in memory.
+func (c *BinaryCodec) DecodeBorrow(data []byte) (*Envelope, error) {
+	return c.decode(data, true)
+}
+
+func (c *BinaryCodec) decode(data []byte, borrow bool) (*Envelope, error) {
 	if len(data) < 3 {
 		return nil, fmt.Errorf("wire: binary decode: frame of %d bytes too short", len(data))
 	}
@@ -394,6 +437,7 @@ func (c *BinaryCodec) Decode(data []byte) (*Envelope, error) {
 	}
 	flags := data[2]
 	r := NewBinReader(data[3:])
+	r.borrow = borrow
 	env := &Envelope{
 		From:    r.ID(),
 		To:      r.ID(),
@@ -427,6 +471,7 @@ func (c *BinaryCodec) Decode(data []byte) (*Envelope, error) {
 				return nil, fmt.Errorf("wire: binary decode: kind %q has no binary form", kind)
 			}
 			br := NewBinReader(body)
+			br.borrow = borrow
 			if err := bm.ParseWire(br); err != nil {
 				return nil, fmt.Errorf("wire: binary decode body of %q: %w", kind, err)
 			}
