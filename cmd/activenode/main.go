@@ -49,6 +49,8 @@ func run() error {
 		outboxHi  = flag.Int("outbox-high", 0, "per-peer send-queue byte budget; sends above it are dropped (0 = 1 MiB default)")
 		outboxLo  = flag.Int("outbox-low", 0, "backpressure-relief watermark in bytes (0 = half of -outbox-high)")
 		shards    = flag.Int("shards", 0, "broker match-index shards (0 = one per core capped at 8, 1 = serial reference)")
+		fanout    = flag.Int("fanout-workers", 0, "broker publish fan-out workers (0 = -shards then one per core capped at 8, 1 = serial reference)")
+		legacyOB  = flag.Bool("legacy-outbox", false, "restore the fixed 256-frame outbox instead of the byte-budgeted queue (reference path)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
@@ -60,9 +62,22 @@ func run() error {
 		OutboxHighWater: *outboxHi,
 		OutboxLowWater:  *outboxLo,
 		Shards:          *shards,
+		FanoutWorkers:   *fanout,
 	}
 	if err := common.Validate(); err != nil {
 		return err
+	}
+	// The legacy frame-cap outbox predates concurrent producers: it has no
+	// byte accounting, so shed decisions snapshotted by the fan-out pool
+	// would be meaningless. Parallel fan-out over it is an untested
+	// combination — reject it rather than document a maybe.
+	if *legacyOB && *fanout > 1 {
+		return fmt.Errorf("-fanout-workers %d requires the byte-budgeted outbox; drop -legacy-outbox or use -fanout-workers 1", *fanout)
+	}
+	if *legacyOB && *fanout == 0 {
+		// Unset fan-out would resolve to a parallel default; pin the
+		// legacy path to the serial reference instead of erroring.
+		common.FanoutWorkers = 1
 	}
 
 	logger := slog.New(slog.DiscardHandler)
@@ -83,12 +98,13 @@ func run() error {
 	gateway.RegisterMessages(reg)
 
 	ep, err := transport.Listen(id, reg, transport.Options{
-		Common: common,
-		Listen: *listen,
-		Region: *region,
-		Coord:  netapi.Coord{X: *x, Y: *y},
-		Seed:   time.Now().UnixNano(),
-		Logger: logger,
+		Common:       common,
+		Listen:       *listen,
+		Region:       *region,
+		Coord:        netapi.Coord{X: *x, Y: *y},
+		Seed:         time.Now().UnixNano(),
+		Logger:       logger,
+		LegacyOutbox: *legacyOB,
 	})
 	if err != nil {
 		return err

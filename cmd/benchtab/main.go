@@ -51,6 +51,7 @@ func main() {
 		{"E-T12", exp.T12FanoutHotPath},
 		{"E-T13", exp.T13Backpressure},
 		{"E-T14", exp.T14ShardedMatch},
+		{"E-T15", exp.T15ParallelFanout},
 	}
 	ran := 0
 	for _, r := range runners {

@@ -32,9 +32,11 @@ import (
 type NodeConfig struct {
 	// Common is the shared node-configuration block (internal/nodecfg).
 	// The stack consumes Common.Shards as the broker's match-shard count
-	// (threaded to pubsub.Options.MatchShards when that is unset) and
-	// Common.Codec as the codec default behind the deprecated-but-kept
-	// Codec field below.
+	// (threaded to pubsub.Options.MatchShards when that is unset),
+	// Common.FanoutWorkers as the broker's publish fan-out pool size
+	// (pubsub.Options.FanoutWorkers, falling back to Shards when unset)
+	// and Common.Codec as the codec default behind the
+	// deprecated-but-kept Codec field below.
 	nodecfg.Common
 	// Secret is the capability-minting secret shared by the deployment's
 	// thin servers.
@@ -95,6 +97,13 @@ func RegisterMessages(reg *wire.Registry) {
 func NewActiveNode(ep netapi.Endpoint, reg *wire.Registry, cfg NodeConfig) *ActiveNode {
 	if cfg.Broker.MatchShards == 0 {
 		cfg.Broker.MatchShards = cfg.Shards
+	}
+	if cfg.Broker.FanoutWorkers == 0 {
+		if cfg.FanoutWorkers != 0 {
+			cfg.Broker.FanoutWorkers = cfg.FanoutWorkers
+		} else {
+			cfg.Broker.FanoutWorkers = cfg.Shards
+		}
 	}
 	n := &ActiveNode{
 		ep:     ep,

@@ -133,5 +133,7 @@ func All(quick bool) []*Table {
 		T11WireFormat(quick),
 		T12FanoutHotPath(quick),
 		T13Backpressure(quick),
+		T14ShardedMatch(quick),
+		T15ParallelFanout(quick),
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/ids"
 	"github.com/gloss/active/internal/pubsub"
 )
 
@@ -17,31 +18,52 @@ import (
 // on.
 const t14Attrs = 16
 
-// T14ShardedMatch measures concurrent publish-matching throughput as the
-// match-index shard count grows, at increasing subscription-table sizes.
+// T14ShardedMatch measures publish throughput as the broker's
+// parallelism degree grows, at increasing subscription-table sizes.
 // Every filter pins one of 16 context attributes to one value, so the
-// postings spread across shards and every event probe fans across them;
-// GOMAXPROCS workers publish concurrently. The shards=1 row is the
-// serial reference index behind a mutex — the only safe way to drive it
-// from several cores, and exactly what a multi-core broker would
-// otherwise pay. Speedups are relative to it; on a single-core runner
-// they flatten to ~1x by construction (the table is parameterised by
-// GOMAXPROCS).
+// postings spread across shards and every event probe fans across them.
+//
+// The primary rows (path=broker) drive the FULL publish pipeline through
+// Broker.Publish: matching, target classification and fan-out — message
+// assembly, shared-body binary encode, per-destination frames — with
+// MatchShards and FanoutWorkers both set to the row's shard count, one
+// actor goroutine publishing (the broker's real concurrency regime).
+// The shards=1 row is the all-serial reference broker.
+//
+// The path=index rows are the original index-only measurement, kept as
+// the continuity series: GOMAXPROCS workers matching concurrently
+// against the bare index, shards=1 being the serial reference Index
+// behind a mutex — the contention a multi-core broker would otherwise
+// pay. Speedups are relative to the shards=1 row of the same path and
+// subs; on a single-core runner they flatten to ~1x by construction.
 func T14ShardedMatch(quick bool) *Table {
 	t := &Table{
 		ID:     "E-T14",
-		Title:  "Sharded matching: concurrent publish throughput vs shard count",
-		Header: []string{"subs", "shards", "workers", "k pubs/s", "speedup", "matches/pub"},
+		Title:  "Sharded matching: publish throughput vs shard count",
+		Header: []string{"path", "subs", "shards", "workers", "k pubs/s", "speedup", "matches/pub"},
 	}
 	subsSizes := []int{10_000, 100_000, 1_000_000}
 	shardCounts := []int{1, 2, 4, 8}
 	events := 40_000
+	brokerEvents := 20_000
 	if quick {
 		subsSizes = []int{10_000}
 		shardCounts = []int{1, 4}
 		events = 8_000
+		brokerEvents = 4_000
 	}
 	workers := runtime.GOMAXPROCS(0)
+	for _, subs := range subsSizes {
+		base := 0.0
+		for _, shards := range shardCounts {
+			kps, mpp := brokerPubRun(subs, shards, brokerEvents)
+			if shards == 1 {
+				base = kps
+			}
+			t.AddRow("broker", fmt.Sprint(subs), fmt.Sprint(shards), fmt.Sprint(shards),
+				f1(kps), f2(kps/base), f1(mpp))
+		}
+	}
 	for _, subs := range subsSizes {
 		base := 0.0
 		for _, shards := range shardCounts {
@@ -49,16 +71,57 @@ func T14ShardedMatch(quick bool) *Table {
 			if shards == 1 {
 				base = kps
 			}
-			t.AddRow(fmt.Sprint(subs), fmt.Sprint(shards), fmt.Sprint(workers),
+			t.AddRow("index", fmt.Sprint(subs), fmt.Sprint(shards), fmt.Sprint(workers),
 				f1(kps), f2(kps/base), f1(mpp))
 		}
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("%d publishes split over %d workers; filters pin one of %d context attributes to one value",
-			events, workers, t14Attrs),
-		"shards=1 is the serial reference Index behind a mutex; speedup is relative to it at the same subs",
-		"matches/pub is the delivered selectivity (one filter per probed attribute by construction)")
+		fmt.Sprintf("broker rows: %d full publishes (match + encode + per-destination frames) from one actor goroutine; workers = FanoutWorkers = shards", brokerEvents),
+		fmt.Sprintf("index rows (continuity): %d bare index matches split over %d workers; shards=1 is the serial Index behind a mutex", events, workers),
+		fmt.Sprintf("filters pin one of %d context attributes to one value; matches/pub is the delivered selectivity", t14Attrs),
+		"speedup is relative to the shards=1 row of the same path at the same subs")
 	return t
+}
+
+// brokerPubRun builds a broker with subs t14-style filters — each owned
+// by a distinct subscriber, so every publish fans out to ~16
+// destinations — and drives events publishes through the full pipeline
+// from a single goroutine, returning k publishes/s and the delivered
+// fan-out per publish.
+func brokerPubRun(subs, shards, events int) (kps, matchesPerPub float64) {
+	ep := newT15Endpoint(fmt.Sprintf("t14-broker-%d-%d", subs, shards))
+	br := pubsub.NewBroker(ep, pubsub.Options{MatchShards: shards, FanoutWorkers: shards})
+	defer br.Close()
+	groups := subs / t14Attrs
+	for i := 0; i < subs; i++ {
+		f := pubsub.NewFilter(pubsub.Eq(
+			fmt.Sprintf("u%02d", i%t14Attrs),
+			event.S(fmt.Sprintf("v%07d", i/t14Attrs))))
+		br.Subscribe(ids.FromString(fmt.Sprintf("t14-sub-%d", i)), f)
+	}
+	from := ids.FromString("t14-pub")
+
+	rng := rand.New(rand.NewSource(14))
+	batch := make([]*pubsub.PubMsg, 256)
+	for i := range batch {
+		ev := event.New("t14.pub", "exp", 0)
+		for k := 0; k < t14Attrs; k++ {
+			ev.Set(fmt.Sprintf("u%02d", k),
+				event.S(fmt.Sprintf("v%07d", rng.Intn(groups))))
+		}
+		batch[i] = &pubsub.PubMsg{Event: ev.Stamp(uint64(i))}
+	}
+
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		br.Publish(from, batch[i%len(batch)])
+	}
+	br.DrainFanout()
+	elapsed := time.Since(start)
+
+	kps = float64(events) / elapsed.Seconds() / 1000
+	matchesPerPub = float64(ep.delivered.Load()) / float64(events)
+	return
 }
 
 // t14Matcher is the slice of the index API the workload drives; both the

@@ -8,6 +8,13 @@
 // serially — protocol code never runs concurrently with itself on the same
 // node and therefore needs no locks. Under simnet the whole world shares
 // one event loop; under TCP each node has an actor loop.
+//
+// Send discipline: by default Send/SendMany may only be called from the
+// endpoint's callback goroutine (the same discipline as everything else).
+// Endpoints that can accept sends from arbitrary goroutines advertise it
+// via ConcurrentSender/Caps.ConcurrentSend; only then may protocol code
+// move send work onto worker goroutines (the broker's fan-out pool does
+// exactly this). Incoming delivery remains serial either way.
 package netapi
 
 import (
@@ -92,6 +99,14 @@ type Endpoint interface {
 type Multicaster interface {
 	// SendMany transmits msg once to each destination, in order.
 	// Semantically identical to calling Send per destination.
+	//
+	// Ordering under concurrency: when the endpoint advertises
+	// ConcurrentSends, calls from different goroutines may interleave
+	// arbitrarily with each other, but each call still emits toward its
+	// destinations in argument order, and two calls toward the same
+	// destination from the SAME goroutine are emitted in program order.
+	// Callers that need per-destination FIFO across goroutines must keep
+	// each destination on one goroutine (destination-sticky workers).
 	SendMany(tos []ids.ID, msg wire.Message)
 }
 
@@ -116,6 +131,10 @@ type Caps struct {
 	Multicast Multicaster
 	// Backpressure is the send-queue saturation signal, or nil.
 	Backpressure Backpressured
+	// ConcurrentSend reports that Send/SendMany (and the read-only
+	// Backpressured gauges, if present) are safe to call from any
+	// goroutine, not just the callback goroutine.
+	ConcurrentSend bool
 }
 
 // Capabilities discovers ep's optional interfaces. It formalises what
@@ -132,7 +151,27 @@ func Capabilities(ep Endpoint) Caps {
 	if b, ok := ep.(Backpressured); ok {
 		c.Backpressure = b
 	}
+	if s, ok := ep.(ConcurrentSender); ok && s.ConcurrentSends() {
+		c.ConcurrentSend = true
+	}
 	return c
+}
+
+// ConcurrentSender is optionally implemented by endpoints whose send path
+// tolerates concurrent producers. The default Endpoint contract confines
+// Send/SendMany to the callback goroutine; an endpoint that returns true
+// here widens that to any goroutine: sends may race with each other and
+// with the callback goroutine without corrupting state or losing frames,
+// and queue accounting (outbox budgets, stats) stays exact. The TCP
+// transport implements it (encode runs on the caller, the per-peer outbox
+// is mutex-protected); the simulator deliberately does not — its
+// determinism depends on the world loop being the only scheduler, so
+// concurrent load is staged through World.Inject instead.
+type ConcurrentSender interface {
+	// ConcurrentSends reports whether Send/SendMany may be called from
+	// any goroutine. The answer must not change over the endpoint's
+	// lifetime (Capabilities snapshots it at wiring time).
+	ConcurrentSends() bool
 }
 
 // Backpressured is optionally implemented by endpoints whose send path
@@ -145,7 +184,12 @@ func Capabilities(ep Endpoint) Caps {
 // Callback discipline applies: these methods may only be called from
 // protocol code running on the endpoint's callback goroutine (the
 // actor loop under TCP, the world loop under simnet), and OnDrain
-// callbacks are invoked there too.
+// callbacks are invoked there too. Exception: an endpoint that reports
+// Caps.ConcurrentSend must also make QueuedBytes and Saturated safe to
+// call from any goroutine (they become advisory snapshots under
+// concurrent sends); OnDrain registration and callback delivery stay on
+// the callback goroutine regardless, which is what lets the broker keep
+// its shed-episode bookkeeping lock-free on the actor loop.
 type Backpressured interface {
 	// QueuedBytes is the backpressure gauge: payload bytes currently
 	// queued (including frames mid-write) toward to. Zero for unknown

@@ -2,8 +2,14 @@ package netapi
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/vclock"
+	"github.com/gloss/active/internal/wire"
 )
 
 func TestDistanceKm(t *testing.T) {
@@ -39,5 +45,35 @@ func TestQuickDistanceMetric(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// stubEndpoint is the minimal Endpoint for capability-probe tests.
+type stubEndpoint struct{}
+
+func (stubEndpoint) ID() ids.ID                                             { return ids.ID{} }
+func (stubEndpoint) Info() NodeInfo                                         { return NodeInfo{} }
+func (stubEndpoint) Clock() vclock.Clock                                    { return nil }
+func (stubEndpoint) Rand() *rand.Rand                                       { return nil }
+func (stubEndpoint) Send(ids.ID, wire.Message)                              {}
+func (stubEndpoint) Request(ids.ID, wire.Message, time.Duration, ReplyFunc) {}
+func (stubEndpoint) Handle(string, Handler)                                 {}
+
+type concStub struct {
+	stubEndpoint
+	ok bool
+}
+
+func (c concStub) ConcurrentSends() bool { return c.ok }
+
+func TestCapabilitiesConcurrentSend(t *testing.T) {
+	if Capabilities(stubEndpoint{}).ConcurrentSend {
+		t.Fatal("plain endpoint must not report ConcurrentSend")
+	}
+	if Capabilities(concStub{ok: false}).ConcurrentSend {
+		t.Fatal("ConcurrentSends()==false must not set the capability")
+	}
+	if !Capabilities(concStub{ok: true}).ConcurrentSend {
+		t.Fatal("ConcurrentSends()==true must set the capability")
 	}
 }

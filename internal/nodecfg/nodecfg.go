@@ -46,6 +46,15 @@ type Common struct {
 	// partitions (simnet). Zero selects each subsystem's default; 1
 	// selects the serial reference paths.
 	Shards int
+	// FanoutWorkers sets the broker's post-match publish parallelism
+	// (pubsub.Options.FanoutWorkers): the pool of destination-sticky
+	// workers running SendMany group assembly, shared-body encode and
+	// endpoint sends off the actor loop. Zero falls back to Shards,
+	// then to the subsystem default; 1 selects the serial reference
+	// path. Only effective over endpoints that advertise concurrent
+	// sends (the TCP transport); over simnet the broker stays serial
+	// regardless, preserving simulation determinism.
+	FanoutWorkers int
 }
 
 // Merge fills c's zero fields from o and returns the result: the
@@ -67,6 +76,9 @@ func (c Common) Merge(o Common) Common {
 	if c.Shards == 0 {
 		c.Shards = o.Shards
 	}
+	if c.FanoutWorkers == 0 {
+		c.FanoutWorkers = o.FanoutWorkers
+	}
 	return c
 }
 
@@ -82,6 +94,9 @@ func (c Common) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("nodecfg: negative Shards %d", c.Shards)
+	}
+	if c.FanoutWorkers < 0 {
+		return fmt.Errorf("nodecfg: negative FanoutWorkers %d", c.FanoutWorkers)
 	}
 	return nil
 }

@@ -8,7 +8,7 @@ import (
 
 func TestMergeOuterWins(t *testing.T) {
 	outer := Common{Codec: "xml", OutboxHighWater: 100}
-	inner := Common{Codec: "binary", OutboxHighWater: 999, OutboxLowWater: 40, Shards: 4}
+	inner := Common{Codec: "binary", OutboxHighWater: 999, OutboxLowWater: 40, Shards: 4, FanoutWorkers: 6}
 	got := outer.Merge(inner)
 	if got.Codec != "xml" {
 		t.Fatalf("Codec = %q, want outer %q", got.Codec, "xml")
@@ -21,6 +21,9 @@ func TestMergeOuterWins(t *testing.T) {
 	}
 	if got.Shards != 4 {
 		t.Fatalf("Shards = %d, want filled 4", got.Shards)
+	}
+	if got.FanoutWorkers != 6 {
+		t.Fatalf("FanoutWorkers = %d, want filled 6", got.FanoutWorkers)
 	}
 }
 
@@ -39,13 +42,14 @@ func TestValidate(t *testing.T) {
 	if err := (Common{}).Validate(); err != nil {
 		t.Fatalf("zero Common must validate: %v", err)
 	}
-	if err := (Common{Codec: "binary", OutboxHighWater: 10, OutboxLowWater: 5, Shards: 8}).Validate(); err != nil {
+	if err := (Common{Codec: "binary", OutboxHighWater: 10, OutboxLowWater: 5, Shards: 8, FanoutWorkers: 4}).Validate(); err != nil {
 		t.Fatalf("valid Common rejected: %v", err)
 	}
 	for _, bad := range []Common{
 		{Codec: "gob"},
 		{OutboxHighWater: 1, OutboxLowWater: 2},
 		{Shards: -1},
+		{FanoutWorkers: -2},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Fatalf("Validate(%+v) = nil, want error", bad)

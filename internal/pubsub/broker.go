@@ -43,6 +43,19 @@ type Options struct {
 	// same probeAttr match engine, so delivery sets, Stats and forwarding
 	// are identical across settings. nodecfg.Common.Shards threads here.
 	MatchShards int
+	// FanoutWorkers selects the post-match publish pipeline. 0 (the
+	// default) uses a pool of DefaultFanoutWorkers destination-sticky
+	// workers for SendMany group assembly, shared-body encode and
+	// endpoint sends; >= 2 uses that many workers; 1 preserves the
+	// serial reference path, where the whole pipeline runs inline on
+	// the actor loop. The pool engages only when the endpoint
+	// advertises netapi.Caps.ConcurrentSend (the TCP transport does;
+	// simnet does not, keeping simulation deterministic) — otherwise
+	// any setting behaves as 1. Matching, target classification, shed
+	// decisions and all state mutation stay on the actor loop either
+	// way; see fanout.go for the per-destination FIFO argument.
+	// nodecfg.Common.FanoutWorkers threads here.
+	FanoutWorkers int
 	// DisableShedding turns off backpressure-aware fan-out shedding.
 	// By default, when the endpoint reports send-queue saturation
 	// (netapi.Backpressured), the broker drops per-subscriber
@@ -140,6 +153,9 @@ type Broker struct {
 	proxies   map[ids.ID]*proxy
 	shedTo    map[ids.ID]struct{} // destinations with an open shed episode
 	stats     Stats
+	// pool is the fan-out worker pool, or nil on the serial reference
+	// path (FanoutWorkers = 1, or an endpoint without ConcurrentSend).
+	pool *fanoutPool
 }
 
 // NewBroker constructs a broker bound to ep and registers its handlers.
@@ -156,11 +172,19 @@ func NewBroker(ep netapi.Endpoint, opts Options) *Broker {
 		proxies:   make(map[ids.ID]*proxy),
 		shedTo:    make(map[ids.ID]struct{}),
 	}
+	caps := netapi.Capabilities(ep)
 	if !opts.DisableShedding {
-		if bp := netapi.Capabilities(ep).Backpressure; bp != nil {
-			b.bp = bp
-			bp.OnDrain(b.onDrain)
+		if caps.Backpressure != nil {
+			b.bp = caps.Backpressure
+			b.bp.OnDrain(b.onDrain)
 		}
+	}
+	workers := opts.FanoutWorkers
+	if workers == 0 {
+		workers = DefaultFanoutWorkers()
+	}
+	if workers > 1 && caps.ConcurrentSend {
+		b.pool = newFanoutPool(ep, workers)
 	}
 	ep.Handle("pubsub.sub", b.handleSub)
 	ep.Handle("pubsub.unsub", b.handleUnsub)
@@ -574,6 +598,7 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	}
 	if b.opts.CloneFanout {
 		// Reference path: a detached copy per delivery, one Send each.
+		// Always serial — the clones are built on the actor loop.
 		for _, d := range fwds {
 			b.ep.Send(d, &PubMsg{Event: b.fanoutEvent(ev)})
 		}
@@ -582,11 +607,42 @@ func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 		}
 		return
 	}
+	if b.pool != nil {
+		// Pipelined path: everything mutable was decided above on the
+		// actor loop (targets, shed set, stats); the pool gets immutable
+		// snapshots — the frozen event and the two target slices — and
+		// runs group assembly, encode and sends on destination-sticky
+		// workers. The slices are freshly built per publish, never
+		// reused, so handing them off is safe.
+		b.pool.submit(ev, fwds, delivers)
+		return
+	}
 	if len(fwds) > 0 {
 		netapi.SendMany(b.ep, fwds, &PubMsg{Event: ev})
 	}
 	if len(delivers) > 0 {
 		netapi.SendMany(b.ep, delivers, &DeliverMsg{Event: ev})
+	}
+}
+
+// DrainFanout blocks until every publish handed to the fan-out pool has
+// been sent to the endpoint; a no-op on the serial path. Call from
+// outside the actor loop (tests, benchmarks, shutdown) once the last
+// publish has been handled — it makes "all publishes processed" imply
+// "all sends issued", which the serial path gave for free.
+func (b *Broker) DrainFanout() {
+	if b.pool != nil {
+		b.pool.quiesce()
+	}
+}
+
+// Close stops the fan-out workers after draining them. The broker must
+// not handle further publishes. Serial-path brokers need no Close (it
+// is a no-op), so existing call sites are unaffected.
+func (b *Broker) Close() {
+	if b.pool != nil {
+		b.pool.close()
+		b.pool = nil
 	}
 }
 
@@ -609,6 +665,22 @@ func (b *Broker) fanoutEvent(ev *event.Event) *event.Event {
 	}
 	b.stats.EventClones++
 	return ev.CloneDetached()
+}
+
+// Subscribe installs a subscription as if a SubMsg had arrived from the
+// direction from — the local-injection seam the experiment harness and
+// benchmarks use to build large subscription tables without a network.
+// Like every handler it must run on the actor goroutine.
+func (b *Broker) Subscribe(from ids.ID, f Filter) {
+	b.stats.SubsReceived++
+	b.subscribe(from, f)
+}
+
+// Publish runs the full publish pipeline — match, classification, shed
+// decisions, fan-out — for msg as if it had arrived from the direction
+// from; the experiment harness's injection seam, actor goroutine only.
+func (b *Broker) Publish(from ids.ID, msg *PubMsg) {
+	b.handlePub(nil, from, msg)
 }
 
 // matchLinear is the original O(table) matching scan, preserved as the

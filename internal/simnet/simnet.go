@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/gloss/active/internal/ids"
@@ -155,6 +156,19 @@ type World struct {
 	nodes  map[ids.ID]*Node
 	order  []*Node // creation order, for deterministic iteration
 	filter LinkFilter
+
+	// injectMu guards staged: messages handed in by goroutines outside
+	// the world loop (Inject/InjectMany), awaiting the next injection
+	// point. Everything else in the World remains world-loop-confined.
+	injectMu sync.Mutex
+	staged   []stagedMsg
+}
+
+// stagedMsg is one concurrently injected message waiting to enter the
+// simulation at the next injection point.
+type stagedMsg struct {
+	from *Node
+	env  *wire.Envelope
 }
 
 // worldPart is one execution partition: the complete per-core slice of
@@ -248,6 +262,10 @@ func NewWorld(cfg Config) *World {
 // partition order then send order — deterministic given deterministic
 // epochs. It runs with all partition goroutines quiescent.
 func (w *World) exchange(time.Duration) {
+	// Epoch barriers are also injection points: concurrently staged
+	// messages enter here, while every partition goroutine is quiescent,
+	// so a load generator can keep feeding a long partitioned run.
+	w.drainInjected()
 	for _, src := range w.parts {
 		for _, m := range src.mail {
 			w.enqueueAt(w.parts[m.dest.part], m.dest, m.env, -1, m.at)
@@ -293,7 +311,10 @@ func (w *World) ExecPartitions() int { return len(w.parts) }
 func (w *World) Now() time.Duration { return w.parts[0].sched.Now() }
 
 // RunUntil advances virtual time to t, executing all due events.
+// Messages staged by Inject/InjectMany enter at the start of the run
+// (and, in a partitioned world, at every epoch barrier).
 func (w *World) RunUntil(t time.Duration) {
+	w.drainInjected()
 	if w.runner != nil {
 		w.runner.RunUntil(t)
 		return
@@ -466,6 +487,14 @@ func (n *Node) Send(to ids.ID, msg wire.Message) {
 // across every destination (the simulator never serialises, so sharing
 // is free), and same-deadline deliveries coalesce in the world's
 // delivery batcher.
+//
+// Like Send, SendMany is world-loop-only: the simulator deliberately
+// does not implement netapi.ConcurrentSender, because its determinism
+// rests on the world loop being the only scheduler mutator. (The
+// broker's fan-out pool therefore stays off over simnet and the serial
+// reference path runs — which is exactly what the differential tests
+// compare against.) Goroutines outside the loop feed load through
+// Inject/InjectMany instead.
 func (n *Node) SendMany(tos []ids.ID, msg wire.Message) {
 	for _, to := range tos {
 		n.Send(to, msg)
@@ -473,6 +502,50 @@ func (n *Node) SendMany(tos []ids.ID, msg wire.Message) {
 }
 
 var _ netapi.Multicaster = (*Node)(nil)
+
+// Inject stages one message from this node for transmission at the next
+// injection point — the start of the next RunUntil, or in a partitioned
+// world the next epoch barrier too. Unlike Send it is safe to call from
+// any goroutine, including while the world is running: this is how
+// concurrent load generators drive partitioned worlds. Messages from
+// one goroutine enter in call order (the staging buffer is
+// append-ordered); interleaving between goroutines follows their mutex
+// acquisition order, so a run is deterministic given the staged
+// sequence, not across racing producers.
+func (n *Node) Inject(to ids.ID, msg wire.Message) {
+	n.world.inject(n, []ids.ID{to}, msg)
+}
+
+// InjectMany stages msg toward every destination, preserving argument
+// order, under one staging-lock acquisition — the thread-safe analogue
+// of SendMany. Safe from any goroutine.
+func (n *Node) InjectMany(tos []ids.ID, msg wire.Message) {
+	n.world.inject(n, tos, msg)
+}
+
+func (w *World) inject(from *Node, tos []ids.ID, msg wire.Message) {
+	w.injectMu.Lock()
+	defer w.injectMu.Unlock()
+	for _, to := range tos {
+		w.staged = append(w.staged, stagedMsg{
+			from: from,
+			env:  &wire.Envelope{From: from.info.ID, To: to, Msg: msg},
+		})
+	}
+}
+
+// drainInjected moves staged messages into the simulation. Called only
+// at injection points, where every partition goroutine is quiescent, so
+// the plain transmit path (sender-partition state) is safe.
+func (w *World) drainInjected() {
+	w.injectMu.Lock()
+	staged := w.staged
+	w.staged = nil
+	w.injectMu.Unlock()
+	for _, s := range staged {
+		w.transmit(s.from, s.env)
+	}
+}
 
 // Request implements netapi.Endpoint.
 func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb netapi.ReplyFunc) {

@@ -215,7 +215,7 @@ func TestWatermarkTransitions(t *testing.T) {
 	// accepts a handful and then saturates.
 	park := make(chan struct{})
 	a.Do(func() {
-		a.peers[b.ID()].state = peerDialing
+		a.peers[b.ID()].state.Store(peerDialing)
 		close(park)
 	})
 	<-park
@@ -257,7 +257,7 @@ func TestWatermarkTransitions(t *testing.T) {
 	accepted := st2.Sent
 	a.Do(func() {
 		p := a.peers[b.ID()]
-		p.state = peerIdle
+		p.state.Store(peerIdle)
 		a.maybeDial(p)
 	})
 	deadline := time.Now().Add(5 * time.Second)
@@ -385,7 +385,7 @@ func TestRehelloRetriesOnlyMissedPeers(t *testing.T) {
 		for _, id := range []ids.ID{full, roomy} {
 			p := a.ensurePeer(id)
 			p.addr = "127.0.0.1:1"
-			p.state = peerConnected
+			p.state.Store(peerConnected)
 		}
 		// Saturate one queue past the control hard cap.
 		pf := a.peers[full]

@@ -12,6 +12,14 @@
 // Connections are unidirectional: a node dials a write-only connection to
 // each peer it sends to, and accepts read-only connections; this removes
 // all simultaneous-connect conflicts.
+//
+// The send path, by contrast, is thread-safe (netapi.ConcurrentSender):
+// Send/SendMany encode on the caller's goroutine and push into the
+// per-peer mutex-protected outbox directly, so a broker's fan-out worker
+// pool can drive many destinations in parallel without detouring through
+// the actor inbox. The peer table is guarded by an RWMutex whose only
+// writer is the actor loop; peer dial state is atomic so any sender can
+// kick a connection attempt. Stats counters are atomics.
 package transport
 
 import (
@@ -215,38 +223,37 @@ type Stats struct {
 	BatchedFrames uint64
 }
 
-type peerState int
-
 const (
-	peerIdle peerState = iota
+	peerIdle int32 = iota
 	peerDialing
 	peerConnected
 )
 
 type peer struct {
-	id    ids.ID
-	addr  string
-	state peerState
-	ox    *outbox
-	conn  net.Conn
-	// connFails counts consecutive dial/connection failures while frames
-	// were still queued; redialPending guards against stacking redial
-	// timers. Both reset on a successful connection.
-	connFails     int
-	redialPending bool
-	// wantsBinary and kindsHash record the codec capabilities from the
-	// peer's most recent hello. Binary frames flow toward it only while
-	// it advertised the binary codec AND its registry fingerprint matches
-	// ours — re-derived on every send, so either side re-helloing after a
-	// runtime registry change flips the link codec without reconnecting.
+	id ids.ID
+	ox *outbox
+	// state is the connection lifecycle (peerIdle/peerDialing/
+	// peerConnected), atomic so any sender can CAS idle→dialing and spawn
+	// the dial itself instead of detouring through the actor inbox.
+	// redialPending guards against stacking redial timers.
+	state         atomic.Int32
+	redialPending atomic.Bool
+	// Routing fields guarded by Node.peersMu (writers: the actor loop
+	// via mergeHello, and AddPeer; concurrent senders read under RLock).
+	// addr is where to dial. wantsBinary and kindsHash record the codec
+	// capabilities from the peer's most recent hello: binary frames flow
+	// toward it only while it advertised the binary codec AND its registry
+	// fingerprint matches ours — re-derived on every send, so either side
+	// re-helloing after a runtime registry change flips the link codec
+	// without reconnecting.
+	addr        string
 	wantsBinary bool
 	kindsHash   string
-}
-
-// binaryOK reports whether the fast-path codec may be used toward p given
-// this node's current registry fingerprint.
-func (p *peer) binaryOK(localHash string) bool {
-	return p.wantsBinary && p.kindsHash == localHash
+	// Actor-confined: conn is the established write connection; connFails
+	// counts consecutive dial/connection failures while frames were still
+	// queued, reset on a successful connection.
+	conn      net.Conn
+	connFails int
 }
 
 type pendingReq struct {
@@ -279,24 +286,39 @@ type Node struct {
 	closeOne sync.Once
 	wg       sync.WaitGroup
 
-	// Write-path counters, updated by writer goroutines (atomics, not
-	// actor state, so flushes never detour through the inbox).
-	flushWrites   atomic.Uint64
-	batchedFrames atomic.Uint64
+	// Stats counters, all atomics: the send path runs on arbitrary
+	// caller goroutines (netapi.ConcurrentSender), writer goroutines
+	// count flushes, and the read loops count receives — none of them
+	// detour through the inbox to count.
+	c counters
+
+	// peersMu guards the peer table and each peer's routing fields
+	// (addr, wantsBinary, kindsHash). Writers are the actor loop
+	// (mergeHello) and AddPeer; the concurrent send path reads under
+	// RLock and never grows the table.
+	peersMu sync.RWMutex
+	peers   map[ids.ID]*peer
 
 	// Actor-confined state.
 	handlers map[string]netapi.Handler
-	peers    map[ids.ID]*peer
 	pending  map[uint64]*pendingReq
 	nextCorr uint64
-	stats    Stats
 	drainFns []func(ids.ID)
 }
 
+// counters is Stats in atomic form; Stats() materialises a snapshot.
+type counters struct {
+	sent, sentBinary, received                                              atomic.Uint64
+	dropped, droppedOverflow, droppedNoAddr, droppedEncode, droppedDialFail atomic.Uint64
+	dials, dialFails                                                        atomic.Uint64
+	flushWrites, batchedFrames                                              atomic.Uint64
+}
+
 var (
-	_ netapi.Endpoint      = (*Node)(nil)
-	_ netapi.Multicaster   = (*Node)(nil)
-	_ netapi.Backpressured = (*Node)(nil)
+	_ netapi.Endpoint         = (*Node)(nil)
+	_ netapi.Multicaster      = (*Node)(nil)
+	_ netapi.Backpressured    = (*Node)(nil)
+	_ netapi.ConcurrentSender = (*Node)(nil)
 )
 
 // Listen starts a TCP node. Register every message type with reg before
@@ -403,48 +425,71 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// Stats returns a snapshot (posted through the actor loop for safety;
-// the write-path counters are folded in from their atomics).
+// Stats returns a snapshot of the atomic counters. It first rides one
+// no-op through the actor loop so pending actor work (receives, hello
+// merges) is reflected — callers historically used Stats as that
+// barrier — then loads; counter pairs are exact at quiescence.
 func (n *Node) Stats() Stats {
-	ch := make(chan Stats, 1)
-	n.do(func() { ch <- n.stats })
+	done := make(chan struct{})
+	n.do(func() { close(done) })
 	select {
-	case s := <-ch:
-		s.FlushWrites = n.flushWrites.Load()
-		s.BatchedFrames = n.batchedFrames.Load()
-		return s
-	case <-time.After(time.Second):
-		return Stats{}
+	case <-done:
+	case <-n.closed:
+	}
+	return Stats{
+		Sent:            n.c.sent.Load(),
+		SentBinary:      n.c.sentBinary.Load(),
+		Received:        n.c.received.Load(),
+		Dropped:         n.c.dropped.Load(),
+		DroppedOverflow: n.c.droppedOverflow.Load(),
+		DroppedNoAddr:   n.c.droppedNoAddr.Load(),
+		DroppedEncode:   n.c.droppedEncode.Load(),
+		DroppedDialFail: n.c.droppedDialFail.Load(),
+		Dials:           n.c.dials.Load(),
+		DialFails:       n.c.dialFails.Load(),
+		FlushWrites:     n.c.flushWrites.Load(),
+		BatchedFrames:   n.c.batchedFrames.Load(),
 	}
 }
+
+// ConcurrentSends implements netapi.ConcurrentSender: Send and SendMany
+// may be called from any goroutine. Encode runs on the caller, the
+// per-peer outbox is mutex-protected, stats are atomic, and dial
+// kick-off CASes the peer state — nothing on the send path needs the
+// actor loop. This is what lets the pub/sub broker's fan-out workers
+// drive the transport in parallel.
+func (n *Node) ConcurrentSends() bool { return true }
 
 // Handle implements netapi.Endpoint.
 func (n *Node) Handle(kind string, h netapi.Handler) {
 	n.do(func() { n.handlers[kind] = h })
 }
 
-// AddPeer seeds the address book.
+// AddPeer seeds the address book. Synchronous and safe from any
+// goroutine: a Send immediately after AddPeer returns sees the address.
 func (n *Node) AddPeer(id ids.ID, addr string) {
-	n.do(func() { n.ensurePeer(id).addr = addr })
+	n.peersMu.Lock()
+	n.ensurePeerLocked(id).addr = addr
+	n.peersMu.Unlock()
 }
 
-// Send implements netapi.Endpoint.
+// Send implements netapi.Endpoint. Safe from any goroutine
+// (ConcurrentSends): the frame is encoded and queued on the caller's
+// goroutine before Send returns.
 func (n *Node) Send(to ids.ID, msg wire.Message) {
-	env := &wire.Envelope{From: n.info.ID, To: to, Msg: msg}
-	n.do(func() { n.transmit(env, nil) })
+	n.transmit(&wire.Envelope{From: n.info.ID, To: to, Msg: msg}, nil)
 }
 
 // SendMany implements netapi.Multicaster: the message body is encoded
 // once per negotiated codec and shared across every destination frame
 // (encode once, send many); only the per-peer envelope header differs.
+// Safe from any goroutine; destinations are processed in argument order
+// on the caller's goroutine, so per-destination FIFO holds per caller.
 func (n *Node) SendMany(tos []ids.ID, msg wire.Message) {
-	targets := append([]ids.ID(nil), tos...)
-	n.do(func() {
-		shared := &wire.SharedBody{}
-		for _, to := range targets {
-			n.transmit(&wire.Envelope{From: n.info.ID, To: to, Msg: msg}, shared)
-		}
-	})
+	shared := &wire.SharedBody{}
+	for _, to := range tos {
+		n.transmit(&wire.Envelope{From: n.info.ID, To: to, Msg: msg}, shared)
+	}
 }
 
 // Request implements netapi.Endpoint.
@@ -465,15 +510,38 @@ func (n *Node) Request(to ids.ID, msg wire.Message, timeout time.Duration, cb ne
 	})
 }
 
-// --- sending (actor loop) ------------------------------------------------------
+// --- sending (any goroutine) ---------------------------------------------------
 
-func (n *Node) ensurePeer(id ids.ID) *peer {
+// ensurePeerLocked inserts or returns the peer entry for id. Callers must
+// hold peersMu for writing (actor loop only — the send path never grows
+// the table).
+func (n *Node) ensurePeerLocked(id ids.ID) *peer {
 	p, ok := n.peers[id]
 	if !ok {
 		p = &peer{id: id, ox: n.newOutbox(id)}
 		n.peers[id] = p
 	}
 	return p
+}
+
+// ensurePeer is ensurePeerLocked under the write lock. Actor loop only.
+func (n *Node) ensurePeer(id ids.ID) *peer {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	return n.ensurePeerLocked(id)
+}
+
+// lookupPeer snapshots the routing fields needed by one transmit: the
+// peer entry, its dial address and whether the binary fast path is
+// negotiated against localHash. Safe from any goroutine.
+func (n *Node) lookupPeer(to ids.ID, localHash string) (p *peer, addr string, binOK bool) {
+	n.peersMu.RLock()
+	defer n.peersMu.RUnlock()
+	p = n.peers[to]
+	if p == nil {
+		return nil, "", false
+	}
+	return p, p.addr, p.wantsBinary && p.kindsHash == localHash
 }
 
 // newOutbox builds a peer's queue with its link-class budget: the
@@ -497,27 +565,37 @@ func (n *Node) newOutbox(id ids.ID) *outbox {
 	return newOutbox(high, low, frameCap)
 }
 
+// transmit encodes env and queues it toward its destination. Safe from
+// any goroutine (netapi.ConcurrentSender): the encode runs on the
+// caller, the outbox push is mutex-protected, counters are atomic, and
+// a needed dial is kicked off via CAS on the peer state. Loopback
+// dispatch is posted to the actor loop, where all protocol callbacks run.
 func (n *Node) transmit(env *wire.Envelope, shared *wire.SharedBody) {
+	select {
+	case <-n.closed:
+		return
+	default:
+	}
 	if env.To == n.info.ID {
 		// Local loopback.
-		n.dispatch(env)
+		n.do(func() { n.dispatch(env) })
 		return
 	}
 	// Route check first: no peer entry or no address means the frame
 	// could never leave this node — drop before paying the encode, and
 	// never grow the peer map for unroutable destinations.
-	p, ok := n.peers[env.To]
-	if !ok || p.addr == "" {
-		n.stats.Dropped++
-		n.stats.DroppedNoAddr++
+	st := n.codec.Load()
+	p, addr, binOK := n.lookupPeer(env.To, st.kindsHash)
+	if p == nil || addr == "" {
+		n.c.dropped.Add(1)
+		n.c.droppedNoAddr.Add(1)
 		n.log.Debug("no address for peer", "peer", env.To.Short())
 		return
 	}
 	// Negotiated per peer: binary frames only toward peers whose hello
 	// advertised the binary codec with a matching kind table.
-	st := n.codec.Load()
 	codec := wire.Codec(n.reg)
-	if n.preferBin && p.binaryOK(st.kindsHash) {
+	if n.preferBin && binOK {
 		codec = st.bin
 	}
 	var frame []byte
@@ -528,33 +606,51 @@ func (n *Node) transmit(env *wire.Envelope, shared *wire.SharedBody) {
 		frame, err = codec.Encode(env)
 	}
 	if err != nil {
-		n.stats.Dropped++
-		n.stats.DroppedEncode++
+		n.c.dropped.Add(1)
+		n.c.droppedEncode.Add(1)
 		n.log.Warn("encode failed", "err", err)
 		return
 	}
 	if p.ox.push(frame, wire.Control(env.Msg)) {
-		n.stats.Sent++
+		n.c.sent.Add(1)
 		if codec == st.bin {
-			n.stats.SentBinary++
+			n.c.sentBinary.Add(1)
 		}
 	} else {
-		n.stats.Dropped++
-		n.stats.DroppedOverflow++
+		n.c.dropped.Add(1)
+		n.c.droppedOverflow.Add(1)
 	}
 	n.maybeDial(p)
 }
 
 // maybeDial starts a connection attempt toward p unless one is already
-// in flight or a redial backoff owns the next attempt. Actor loop only.
+// in flight or a redial backoff owns the next attempt. Safe from any
+// goroutine: the idle→dialing transition is a CAS, so exactly one
+// concurrent sender wins the dial.
 func (n *Node) maybeDial(p *peer) {
-	if p.state != peerIdle || p.redialPending || p.addr == "" {
+	if p.redialPending.Load() {
 		return
 	}
-	p.state = peerDialing
-	n.stats.Dials++
+	n.peersMu.RLock()
+	addr := p.addr
+	n.peersMu.RUnlock()
+	if addr == "" {
+		return
+	}
+	if !p.state.CompareAndSwap(peerIdle, peerDialing) {
+		return
+	}
+	select {
+	case <-n.closed:
+		// Late send racing Close: undo and bail rather than spawn a
+		// goroutine Close will not wait for.
+		p.state.Store(peerIdle)
+		return
+	default:
+	}
+	n.c.dials.Add(1)
 	n.wg.Add(1)
-	go n.dialPeer(p.id, p.addr)
+	go n.dialPeer(p.id, addr)
 }
 
 // scheduleRedial arranges another dial after a connection failure while
@@ -571,8 +667,8 @@ func (n *Node) scheduleRedial(p *peer) {
 	p.connFails++
 	if p.connFails >= n.opts.RedialAttempts {
 		dropped, drained := p.ox.dropAll()
-		n.stats.Dropped += uint64(dropped)
-		n.stats.DroppedDialFail += uint64(dropped)
+		n.c.dropped.Add(uint64(dropped))
+		n.c.droppedDialFail.Add(uint64(dropped))
 		p.connFails = 0
 		n.log.Warn("peer unreachable, dropping queued frames",
 			"peer", p.id.Short(), "frames", dropped)
@@ -581,10 +677,9 @@ func (n *Node) scheduleRedial(p *peer) {
 		}
 		return
 	}
-	if p.redialPending {
+	if !p.redialPending.CompareAndSwap(false, true) {
 		return
 	}
-	p.redialPending = true
 	// Cap the exponent, not the product: a large RedialAttempts must not
 	// shift the backoff into overflow.
 	shift := p.connFails - 1
@@ -592,7 +687,7 @@ func (n *Node) scheduleRedial(p *peer) {
 		shift = 5
 	}
 	n.Clock().After(n.opts.RedialBackoff<<shift, func() {
-		p.redialPending = false
+		p.redialPending.Store(false)
 		if p.ox.pendingFrames() > 0 {
 			n.maybeDial(p)
 		}
@@ -601,19 +696,27 @@ func (n *Node) scheduleRedial(p *peer) {
 
 // --- backpressure (netapi.Backpressured) -----------------------------------------
 
-// QueuedBytes implements netapi.Backpressured. Like Rand, it may only
-// be called from protocol code on the actor loop (the peer table is
-// actor-confined); the byte counter itself is lock-protected.
+// QueuedBytes implements netapi.Backpressured. Safe from any goroutine
+// (the ConcurrentSender widening of the Backpressured contract): the
+// peer table is read under RLock and the byte counter is lock-protected.
+// Under concurrent sends the value is an advisory snapshot.
 func (n *Node) QueuedBytes(to ids.ID) int {
-	if p, ok := n.peers[to]; ok {
+	n.peersMu.RLock()
+	p, ok := n.peers[to]
+	n.peersMu.RUnlock()
+	if ok {
 		return p.ox.queuedBytes()
 	}
 	return 0
 }
 
-// Saturated implements netapi.Backpressured. Actor loop only.
+// Saturated implements netapi.Backpressured. Safe from any goroutine;
+// see QueuedBytes.
 func (n *Node) Saturated(to ids.ID) bool {
-	if p, ok := n.peers[to]; ok {
+	n.peersMu.RLock()
+	p, ok := n.peers[to]
+	n.peersMu.RUnlock()
+	if ok {
 		return p.ox.saturated()
 	}
 	return false
@@ -642,12 +745,15 @@ func (n *Node) notifyDrain(id ids.ID) {
 func (n *Node) dialPeer(id ids.ID, addr string) {
 	defer n.wg.Done()
 	fail := func(countDial bool) {
+		if countDial {
+			n.c.dialFails.Add(1)
+		}
 		n.do(func() {
-			if countDial {
-				n.stats.DialFails++
-			}
-			if p, ok := n.peers[id]; ok {
-				p.state = peerIdle
+			n.peersMu.RLock()
+			p, ok := n.peers[id]
+			n.peersMu.RUnlock()
+			if ok {
+				p.state.Store(peerIdle)
 				n.scheduleRedial(p)
 			}
 		})
@@ -664,21 +770,25 @@ func (n *Node) dialPeer(id ids.ID, addr string) {
 		return
 	}
 	n.do(func() {
+		n.peersMu.RLock()
 		p, ok := n.peers[id]
+		n.peersMu.RUnlock()
 		if !ok {
 			_ = conn.Close()
 			return
 		}
-		p.state = peerConnected
 		p.conn = conn
 		p.connFails = 0
+		p.state.Store(peerConnected)
 		n.wg.Add(1)
 		go n.writeLoop(p, conn)
 	})
 }
 
-// bookSnapshot lists known peer addresses. Actor loop only.
+// bookSnapshot lists known peer addresses. Safe from any goroutine.
 func (n *Node) bookSnapshot() []HelloPeer {
+	n.peersMu.RLock()
+	defer n.peersMu.RUnlock()
 	var book []HelloPeer
 	for id, p := range n.peers {
 		if p.addr != "" {
@@ -758,18 +868,23 @@ func (n *Node) rehelloTo(only map[ids.ID]bool) {
 		return
 	}
 	var missed map[ids.ID]bool
-	for id, p := range n.peers {
-		if p.state != peerConnected {
-			continue
+	n.peersMu.RLock()
+	conns := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.state.Load() == peerConnected {
+			conns = append(conns, p)
 		}
-		if only != nil && !only[id] {
+	}
+	n.peersMu.RUnlock()
+	for _, p := range conns {
+		if only != nil && !only[p.id] {
 			continue
 		}
 		if !p.ox.push(frame, true) {
 			if missed == nil {
 				missed = make(map[ids.ID]bool)
 			}
-			missed[id] = true
+			missed[p.id] = true
 		}
 	}
 	if len(missed) > 0 {
@@ -782,8 +897,8 @@ func (n *Node) writeLoop(p *peer, conn net.Conn) {
 	defer conn.Close()
 	fail := func() {
 		n.do(func() {
-			p.state = peerIdle
 			p.conn = nil
+			p.state.Store(peerIdle)
 			// Frames queued after this batch was taken would otherwise be
 			// stranded until an unrelated later transmit.
 			n.scheduleRedial(p)
@@ -842,9 +957,9 @@ func (n *Node) writeLoop(p *peer, conn net.Conn) {
 				fail()
 				return
 			}
-			n.flushWrites.Add(1)
+			n.c.flushWrites.Add(1)
 			if len(frames) > 1 {
-				n.batchedFrames.Add(uint64(len(frames) - 1))
+				n.c.batchedFrames.Add(uint64(len(frames) - 1))
 			}
 		}
 		select {
@@ -898,8 +1013,8 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.log.Warn("bad frame", "err", err)
 			return
 		}
+		n.c.received.Add(1)
 		n.do(func() {
-			n.stats.Received++
 			if hello, ok := env.Msg.(*HelloMsg); ok {
 				n.mergeHello(hello)
 				return
@@ -928,10 +1043,14 @@ func (n *Node) decodeFrame(frame []byte) (*wire.Envelope, error) {
 // mergeHello learns addresses and codec capabilities from a peer's hello.
 // Capabilities are recorded verbatim and compared against our own kinds
 // hash lazily at send time, so a later RefreshRegistry on either side
-// re-evaluates every link without new state.
+// re-evaluates every link without new state. Actor loop only (the sole
+// peer-table writer); mutations hold the peersMu write lock so
+// concurrent senders see consistent routing fields.
 func (n *Node) mergeHello(h *HelloMsg) {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
 	if id, err := ids.Parse(h.ID); err == nil && h.Addr != "" {
-		p := n.ensurePeer(id)
+		p := n.ensurePeerLocked(id)
 		p.addr = h.Addr
 		p.wantsBinary = false
 		p.kindsHash = h.KindsHash
@@ -946,7 +1065,7 @@ func (n *Node) mergeHello(h *HelloMsg) {
 		if err != nil || k.Addr == "" || id == n.info.ID {
 			continue
 		}
-		p := n.ensurePeer(id)
+		p := n.ensurePeerLocked(id)
 		if p.addr == "" {
 			p.addr = k.Addr
 		}
