@@ -174,6 +174,17 @@ func BenchmarkE_T15_ParallelFanout(b *testing.B) {
 	}
 }
 
+func BenchmarkE_T16_StoragePlane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T16StoragePlane(true)
+		last := len(tab.Rows) - 1
+		report(b, tab, 1, 4, "digest-payload-kb")
+		report(b, tab, 4, 4, "legacy-payload-kb")
+		report(b, tab, last-1, 5, "erasure-wire-kb")
+		report(b, tab, last, 5, "recopy-wire-kb") // acceptance: ≥3x the erasure row
+	}
+}
+
 // --- micro-benchmarks of hot paths ------------------------------------------
 
 // BenchmarkBrokerPublishWorld measures the full per-publish path through

@@ -25,6 +25,7 @@ import (
 	"github.com/gloss/active/internal/ids"
 	"github.com/gloss/active/internal/netapi"
 	"github.com/gloss/active/internal/nodecfg"
+	"github.com/gloss/active/internal/store"
 	"github.com/gloss/active/internal/transport"
 	"github.com/gloss/active/internal/wire"
 )
@@ -51,6 +52,8 @@ func run() error {
 		shards    = flag.Int("shards", 0, "broker match-index shards (0 = one per core capped at 8, 1 = serial reference)")
 		fanout    = flag.Int("fanout-workers", 0, "broker publish fan-out workers (0 = -shards then one per core capped at 8, 1 = serial reference)")
 		legacyOB  = flag.Bool("legacy-outbox", false, "restore the fixed 256-frame outbox instead of the byte-budgeted queue (reference path)")
+		chunkB    = flag.Int("chunk-bytes", 0, "storage transfer chunk size; bodies above it stream as offset-addressed chunk frames (0 = 64 KiB default, negative disables chunking)")
+		legacyRep = flag.Bool("legacy-replication", false, "restore whole-object replica pushes instead of the chunked, digest-driven repair plane (reference path)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
@@ -115,6 +118,10 @@ func run() error {
 		Common:         common,
 		Secret:         []byte(*secret),
 		AdvertInterval: -1, // advertising needs a broker mesh; single-node CLI keeps quiet
+		Store: store.Options{
+			ChunkBytes:        *chunkB,
+			LegacyReplication: *legacyRep,
+		},
 	})
 	gateway.Serve(node)
 

@@ -52,6 +52,7 @@ func main() {
 		{"E-T13", exp.T13Backpressure},
 		{"E-T14", exp.T14ShardedMatch},
 		{"E-T15", exp.T15ParallelFanout},
+		{"E-T16", exp.T16StoragePlane},
 	}
 	ran := 0
 	for _, r := range runners {

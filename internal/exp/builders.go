@@ -29,6 +29,11 @@ type clusterCfg struct {
 	withStores bool
 	storeOpts  store.Options
 	overlay    plaxton.Options
+	// codec enables wire-byte accounting in the world's Metrics:
+	// "bin" installs the binary codec, "xml" the open XML reference
+	// format, "" leaves accounting off (the default — sizing costs an
+	// encode pass per message).
+	codec string
 }
 
 // buildCluster boots the overlay; joins run sequentially.
@@ -38,6 +43,12 @@ func buildCluster(cfg clusterCfg) *overlayCluster {
 	plaxton.RegisterMessages(reg)
 	store.RegisterMessages(reg)
 	reg.Register(&probeMsg{})
+	switch cfg.codec {
+	case "bin":
+		w.SetCodec(wire.NewBinaryCodec(reg))
+	case "xml":
+		w.SetCodec(reg)
+	}
 	c := &overlayCluster{
 		world: w,
 		reg:   reg,

@@ -135,5 +135,6 @@ func All(quick bool) []*Table {
 		T13Backpressure(quick),
 		T14ShardedMatch(quick),
 		T15ParallelFanout(quick),
+		T16StoragePlane(quick),
 	}
 }

@@ -222,3 +222,30 @@ func TestT10Discovery(t *testing.T) {
 		}
 	}
 }
+
+func TestT16StoragePlane(t *testing.T) {
+	tab := runQuick(t, "T16", T16StoragePlane)
+	for _, row := range tab.Rows {
+		for _, cell := range row {
+			if cell == "setup failed" {
+				t.Fatalf("scenario did not reach steady state: %v", row)
+			}
+		}
+	}
+	// Digest repair pushes roughly what the failure lost; legacy blind
+	// push re-copies every rooted object each round. Same 64 KiB / 16 KiB
+	// / bin configuration, so the gap is the protocol, not the workload.
+	digestPay := cellFloat(t, tab.Rows[1][4])
+	legacyPay := cellFloat(t, tab.Rows[4][4])
+	if digestPay*4 > legacyPay {
+		t.Fatalf("digest repair payload (%v KB) not well below legacy (%v KB)", digestPay, legacyPay)
+	}
+	// The acceptance bar for coded repair: rebuilding one lost fragment
+	// in-network must move ≥3x less storage-plane wire than the
+	// whole-object re-copy ablation.
+	erasure := cellFloat(t, tab.Rows[len(tab.Rows)-2][5])
+	recopy := cellFloat(t, tab.Rows[len(tab.Rows)-1][5])
+	if erasure*3 > recopy {
+		t.Fatalf("erasure repair wire (%v KB) not 3x below re-copy (%v KB)", erasure, recopy)
+	}
+}

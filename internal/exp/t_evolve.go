@@ -121,9 +121,15 @@ func T7PlacementPolicies(quick bool) *Table {
 		Title:  "Data placement policies: read latency after relocation",
 		Header: []string{"policy", "t+1min ms", "t+4min ms", "t+8min ms", "remote copies"},
 	}
-	const chunks = 8
+	// Full mode carries Bob's profile at 100× the seed table's scale
+	// (800 chunks × ~4 KiB instead of 8 × ~40 B): policy-driven
+	// migration has to move megabytes of user data, not a token few
+	// hundred bytes.
+	chunks, pad := 800, 4096
+	if quick {
+		chunks, pad = 8, 0
+	}
 	dwellStep := time.Minute
-	_ = quick
 	for _, policy := range []string{"none", "backup", "latency"} {
 		w := buildCore(7000, 9, 2*time.Second)
 		host := w.Node(0)
@@ -137,7 +143,14 @@ func T7PlacementPolicies(quick bool) *Table {
 		euStore := w.Node(euNodes[0]).Store
 		for i := 0; i < chunks; i++ {
 			key := evolve.UserDataKey("bob", i)
-			euStore.PutAs(key, []byte(fmt.Sprintf("bob-chunk-%d: preferences and history", i)), func(error) {})
+			body := []byte(fmt.Sprintf("bob-chunk-%d: preferences and history", i))
+			if pad > 0 {
+				body = append(body, make([]byte, pad)...)
+			}
+			euStore.PutAs(key, body, func(error) {})
+			if i%50 == 49 {
+				w.RunFor(500 * time.Millisecond)
+			}
 		}
 		w.RunFor(8 * time.Second)
 

@@ -89,9 +89,13 @@ func T2ReplicaResilience(quick bool) *Table {
 		Title:  "Replica resilience under node failure (k=3)",
 		Header: []string{"killed %", "healing", "objects", "available", "repair pushes"},
 	}
-	nodes, objects := 48, 40
+	// Full mode runs the storage plane at 100× the seed table's object
+	// count and body size (4000 × ~2 KiB vs 40 × ~20 B): the digest
+	// repair and chunked-transfer machinery must hold up at volume, not
+	// just on toy workloads.
+	nodes, objects, pad := 48, 4000, 2048
 	if quick {
-		nodes, objects = 24, 20
+		nodes, objects, pad = 24, 20, 0
 	}
 	// Failures arrive in three waves with time between them: self-healing
 	// restores the replication degree between waves (the RAID analogy of
@@ -108,12 +112,19 @@ func T2ReplicaResilience(quick bool) *Table {
 				overlay:   plaxton.Options{HeartbeatInterval: time.Second, ProbeTimeout: 300 * time.Millisecond},
 				storeOpts: store.Options{Replicas: 3, RepairInterval: repair, RequestTimeout: 2 * time.Second},
 			})
-			// Store objects from random nodes.
+			// Store objects from random nodes, paced so thousands of puts
+			// don't all race the same settle window.
 			guids := make([]ids.ID, objects)
 			for i := 0; i < objects; i++ {
 				content := []byte(fmt.Sprintf("object-%d-%v", i, healing))
+				if pad > 0 {
+					content = append(content, make([]byte, pad)...)
+				}
 				guids[i] = store.GUIDFor(content)
 				c.stores[i%nodes].Put(content, func(ids.ID, error) {})
+				if i%50 == 49 {
+					c.world.RunFor(500 * time.Millisecond)
+				}
 			}
 			c.world.RunFor(10 * time.Second)
 			var basePushes uint64
@@ -136,15 +147,18 @@ func T2ReplicaResilience(quick bool) *Table {
 				}
 				c.world.RunFor(12 * time.Second)
 			}
-			// Availability probe from survivor 0.
+			// Availability probe from survivor 0, pipelined in small bursts
+			// so the full-scale run's 4000 reads stay inside sim minutes.
 			ok := 0
-			for _, g := range guids {
+			for i, g := range guids {
 				c.stores[0].Get(g, func(_ []byte, err error) {
 					if err == nil {
 						ok++
 					}
 				})
-				c.world.RunFor(200 * time.Millisecond)
+				if quick || i%10 == 9 {
+					c.world.RunFor(200 * time.Millisecond)
+				}
 			}
 			c.world.RunFor(15 * time.Second)
 			var pushes uint64

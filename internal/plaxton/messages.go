@@ -22,6 +22,11 @@ type RouteMsg struct {
 // Kind implements wire.Message.
 func (RouteMsg) Kind() string { return "plaxton.route" }
 
+// PayloadKind attributes a routed frame's wire bytes to the message kind
+// it carries, so per-kind byte metrics charge routed traffic to the
+// subsystem that sent it rather than to the overlay envelope.
+func (m RouteMsg) PayloadKind() string { return m.InnerKind }
+
 // JoinMsg is routed toward the joining node's own ID; every hop pushes its
 // state to the newcomer, and the root completes the join.
 type JoinMsg struct {

@@ -120,7 +120,14 @@ type Metrics struct {
 	DroppedOverflow uint64
 	Bytes           uint64 // only counted when a codec is installed (Config.Codec or SetCodec)
 	ByKind          map[string]uint64
-	Unhandled       uint64
+	// BytesByKind splits Bytes per message kind (codec required, like
+	// Bytes) so experiments can attribute traffic to a subsystem without
+	// baseline-correcting overlay noise out of the global counter.
+	// Messages implementing PayloadKinder (overlay route envelopes) are
+	// charged to the kind they carry; ByKind frame counts stay on the
+	// envelope kind.
+	BytesByKind map[string]uint64
+	Unhandled   uint64
 	// FlushEvents counts scheduler delivery events: messages bound for
 	// the same destination at the same instant share one (the simulation
 	// mirror of the TCP transport's Stats.FlushWrites). Sent/Delivered
@@ -130,6 +137,14 @@ type Metrics struct {
 	// BatchedMsgs counts messages that rode in a delivery batch after the
 	// first (the mirror of transport's Stats.BatchedFrames).
 	BatchedMsgs uint64
+}
+
+// PayloadKinder is implemented by envelope messages (e.g. the overlay's
+// route frame) that carry another message: BytesByKind charges the whole
+// frame to the carried kind, so a storage put routed through the overlay
+// counts as storage traffic, not routing traffic.
+type PayloadKinder interface {
+	PayloadKind() string
 }
 
 // LinkFilter decides whether a message from → to may traverse the network.
@@ -239,7 +254,7 @@ func NewWorld(cfg Config) *World {
 		w.parts[i] = &worldPart{
 			sched:   vclock.NewScheduler(),
 			rng:     rand.New(rand.NewSource(seed)),
-			metrics: Metrics{ByKind: make(map[string]uint64)},
+			metrics: Metrics{ByKind: make(map[string]uint64), BytesByKind: make(map[string]uint64)},
 			batches: make(map[batchKey]*delivBatch),
 		}
 	}
@@ -330,6 +345,7 @@ func (w *World) RunFor(d time.Duration) { w.RunUntil(w.Now() + d) }
 func (w *World) Metrics() Metrics {
 	var m Metrics
 	m.ByKind = make(map[string]uint64)
+	m.BytesByKind = make(map[string]uint64)
 	for _, p := range w.parts {
 		m.Sent += p.metrics.Sent
 		m.Delivered += p.metrics.Delivered
@@ -342,6 +358,9 @@ func (w *World) Metrics() Metrics {
 		for k, v := range p.metrics.ByKind {
 			m.ByKind[k] += v
 		}
+		for k, v := range p.metrics.BytesByKind {
+			m.BytesByKind[k] += v
+		}
 	}
 	return m
 }
@@ -349,7 +368,7 @@ func (w *World) Metrics() Metrics {
 // ResetMetrics zeroes all counters (between benchmark phases).
 func (w *World) ResetMetrics() {
 	for _, p := range w.parts {
-		p.metrics = Metrics{ByKind: make(map[string]uint64)}
+		p.metrics = Metrics{ByKind: make(map[string]uint64), BytesByKind: make(map[string]uint64)}
 	}
 }
 
@@ -592,6 +611,15 @@ func (w *World) transmit(from *Node, env *wire.Envelope) {
 			// Byte accounting is skipped entirely without a codec.
 			if sized {
 				p.metrics.Bytes += uint64(size)
+				// Envelope messages (overlay routing) attribute their bytes
+				// to the kind they carry; frame counts stay on the envelope.
+				kind := env.Msg.Kind()
+				if pk, ok := env.Msg.(PayloadKinder); ok {
+					if inner := pk.PayloadKind(); inner != "" {
+						kind = inner
+					}
+				}
+				p.metrics.BytesByKind[kind] += uint64(size)
 			}
 		}
 	}

@@ -1,0 +1,49 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/ids"
+)
+
+// BenchmarkStoreReplicate measures one put of a multi-chunk object
+// through the replication plane of a joined 8-node cluster: manifest +
+// chunk framing, receiver reassembly and the k-1 replica pushes — with
+// the legacy whole-frame push as the reference series.
+func BenchmarkStoreReplicate(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"chunked", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := buildCluster(b, 42, 8, Options{
+				Replicas: 3, RepairInterval: -1, RequestTimeout: 5 * time.Second,
+				ChunkBytes: 4 << 10, LegacyReplication: mode.legacy,
+			})
+			body := make([]byte, 64<<10)
+			rand.New(rand.NewSource(42)).Read(body)
+			b.SetBytes(int64(len(body)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh GUID per iteration: content-hash keys would
+				// otherwise dedupe every put after the first.
+				body[0], body[1], body[2] = byte(i), byte(i>>8), byte(i>>16)
+				done := false
+				c.stores[i%len(c.stores)].Put(append([]byte(nil), body...), func(_ ids.ID, err error) {
+					if err != nil {
+						b.Fatalf("put: %v", err)
+					}
+					done = true
+				})
+				for step := 0; !done && step < 60; step++ {
+					c.world.RunFor(500 * time.Millisecond)
+				}
+				if !done {
+					b.Fatal("put did not complete")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,328 @@
+package store
+
+import (
+	"fmt"
+
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/wire"
+)
+
+// Chunked node-to-node transfer: bodies larger than Options.ChunkBytes
+// stream as offset-addressed ChunkMsg frames behind a ManifestMsg, so a
+// 10 MiB object never serialises as a single frame through the
+// byte-budgeted outbox. Chunks are data, not control — a saturated link
+// sheds them and the transfer times out; repair retries next round.
+
+// Transfer purposes: what the receiver does with the reassembled body.
+const (
+	xferReplicate = 1 + iota // store a replica (ReplicateMsg equivalent)
+	xferCacheFill            // seed the promiscuous cache (CacheFillMsg)
+	xferGetReply             // complete a pending get (GetReplyMsg)
+	xferPut                  // root pulled a large put from its origin
+)
+
+// hash64 is FNV-1a over the object body: cheap, allocation-free, and the
+// shared integrity/staleness check for chunk transfers and digests.
+func hash64(b []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// reassembly is the pure chunk-reassembly state machine: fixed-size
+// chunks copied into a preallocated buffer, tracked by a per-chunk
+// bitmap. Pure so the fuzzer can drive it directly against hostile
+// geometry (truncated totals, misaligned offsets, wrong lengths).
+type reassembly struct {
+	total     int
+	chunk     int
+	hash      uint64
+	buf       []byte
+	got       []bool
+	remaining int
+}
+
+func newReassembly(totalLen, chunk, maxObject int, hash uint64) (*reassembly, error) {
+	if totalLen <= 0 || totalLen > maxObject {
+		return nil, fmt.Errorf("store: transfer length %d out of range (max %d)", totalLen, maxObject)
+	}
+	if chunk <= 0 || chunk > maxObject {
+		return nil, fmt.Errorf("store: chunk size %d out of range", chunk)
+	}
+	n := (totalLen + chunk - 1) / chunk
+	return &reassembly{
+		total:     totalLen,
+		chunk:     chunk,
+		hash:      hash,
+		buf:       make([]byte, totalLen),
+		got:       make([]bool, n),
+		remaining: n,
+	}, nil
+}
+
+// add copies one chunk in. done reports the body is complete and
+// hash-verified; a non-nil error poisons the whole transfer (corrupt or
+// hostile geometry — the caller must drop the state).
+func (ra *reassembly) add(off int, data []byte) (done bool, err error) {
+	if off < 0 || off >= ra.total || off%ra.chunk != 0 {
+		return false, fmt.Errorf("store: chunk offset %d invalid for %d-byte transfer", off, ra.total)
+	}
+	want := ra.chunk
+	if off+want > ra.total {
+		want = ra.total - off
+	}
+	if len(data) != want {
+		return false, fmt.Errorf("store: chunk at %d has %d bytes, want %d", off, len(data), want)
+	}
+	idx := off / ra.chunk
+	if ra.got[idx] {
+		return false, nil // duplicate delivery: benign, ignore
+	}
+	copy(ra.buf[off:], data)
+	ra.got[idx] = true
+	ra.remaining--
+	if ra.remaining > 0 {
+		return false, nil
+	}
+	if hash64(ra.buf) != ra.hash {
+		return false, fmt.Errorf("store: reassembled transfer fails hash check")
+	}
+	return true, nil
+}
+
+// xferKey identifies one inbound transfer: sender-scoped so transfer IDs
+// from different nodes cannot collide.
+type xferKey struct {
+	from ids.ID
+	id   uint64
+}
+
+// maxEarlyChunks bounds how many chunks delivered ahead of their
+// manifest (network reordering) are buffered per transfer.
+const maxEarlyChunks = 256
+
+// xfer is one inbound transfer's reassembly state plus completion context.
+type xfer struct {
+	ra        *reassembly
+	guid      ids.ID
+	purpose   int
+	reqID     uint64
+	hops      int
+	fromCache bool
+	pin       bool
+	// progress vs sweptAt implement the timeout GC: a sweep that finds no
+	// progress since the last one drops the state.
+	progress uint64
+	sweptAt  uint64
+}
+
+// chunkBytes returns the effective chunk threshold: 0 means chunking is
+// off (legacy replication, or ChunkBytes < 0).
+func (s *Store) chunkBytes() int {
+	if s.opts.LegacyReplication || s.opts.ChunkBytes < 0 {
+		return 0
+	}
+	return s.opts.ChunkBytes
+}
+
+// sendChunked streams data to a peer as manifest + chunk frames.
+func (s *Store) sendChunked(to ids.ID, purpose int, guid ids.ID, data []byte, reqID uint64, hops int, fromCache, pin bool) {
+	chunk := s.chunkBytes()
+	s.nextXfer++
+	s.ep.Send(to, &ManifestMsg{
+		Xfer:      s.nextXfer,
+		GUID:      guid.String(),
+		Purpose:   purpose,
+		TotalLen:  len(data),
+		Chunk:     chunk,
+		Hash:      hash64(data),
+		ReqID:     reqID,
+		Hops:      hops,
+		FromCache: fromCache,
+		Pin:       pin,
+	})
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		s.stats.ChunkFramesSent++
+		s.ep.Send(to, &ChunkMsg{Xfer: s.nextXfer, Off: off, Data: data[off:end]})
+	}
+}
+
+// sendObject delivers a replica or cache fill, chunked when the body
+// exceeds the threshold.
+func (s *Store) sendObject(to ids.ID, purpose int, guid ids.ID, data []byte) {
+	s.sendObjectPinned(to, purpose, guid, data, false)
+}
+
+func (s *Store) sendObjectPinned(to ids.ID, purpose int, guid ids.ID, data []byte, pin bool) {
+	if cb := s.chunkBytes(); cb > 0 && len(data) > cb {
+		s.sendChunked(to, purpose, guid, data, 0, 0, false, pin)
+		return
+	}
+	switch purpose {
+	case xferReplicate:
+		s.ep.Send(to, &ReplicateMsg{GUID: guid.String(), Pin: pin, Data: data})
+	case xferCacheFill:
+		s.ep.Send(to, &CacheFillMsg{GUID: guid.String(), Data: data})
+	}
+}
+
+// sendGetReply answers a remote get, chunking large found bodies.
+func (s *Store) sendGetReply(to ids.ID, reply *GetReplyMsg) {
+	if cb := s.chunkBytes(); reply.Found && cb > 0 && len(reply.Data) > cb {
+		guid, err := ids.Parse(reply.GUID)
+		if err != nil {
+			return
+		}
+		s.sendChunked(to, xferGetReply, guid, reply.Data, reply.ReqID, reply.Hops, reply.FromCache, false)
+		return
+	}
+	s.ep.Send(to, reply)
+}
+
+func (s *Store) handleManifest(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	mm := msg.(*ManifestMsg)
+	guid, err := ids.Parse(mm.GUID)
+	if err != nil {
+		return
+	}
+	switch mm.Purpose {
+	case xferReplicate, xferCacheFill, xferGetReply, xferPut:
+	default:
+		return
+	}
+	ra, err := newReassembly(mm.TotalLen, mm.Chunk, s.opts.MaxObjectBytes, mm.Hash)
+	if err != nil {
+		return
+	}
+	key := xferKey{from: from, id: mm.Xfer}
+	// A repeated manifest (sender restarted the transfer) replaces any
+	// half-built state under the same key.
+	s.xfers[key] = &xfer{
+		ra:        ra,
+		guid:      guid,
+		purpose:   mm.Purpose,
+		reqID:     mm.ReqID,
+		hops:      mm.Hops,
+		fromCache: mm.FromCache,
+		pin:       mm.Pin,
+	}
+	s.sweepXfer(key)
+	if buf, ok := s.early[key]; ok {
+		delete(s.early, key)
+		for _, cm := range buf {
+			s.applyChunk(key, from, cm)
+		}
+	}
+}
+
+// sweepXfer schedules the transfer's timeout GC: every ChunkTimeout the
+// sweep either observes progress and re-arms, or drops the state.
+func (s *Store) sweepXfer(key xferKey) {
+	s.ep.Clock().After(s.opts.ChunkTimeout, func() {
+		x, ok := s.xfers[key]
+		if !ok {
+			return
+		}
+		if x.progress == x.sweptAt {
+			delete(s.xfers, key)
+			s.stats.ChunkTimeouts++
+			return
+		}
+		x.sweptAt = x.progress
+		s.sweepXfer(key)
+	})
+}
+
+// sweepEarly drops an early-chunk buffer whose manifest never showed up.
+func (s *Store) sweepEarly(key xferKey) {
+	s.ep.Clock().After(s.opts.ChunkTimeout, func() {
+		if _, ok := s.early[key]; ok {
+			delete(s.early, key)
+			s.stats.ChunkTimeouts++
+		}
+	})
+}
+
+func (s *Store) handleChunk(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	cm := msg.(*ChunkMsg)
+	key := xferKey{from: from, id: cm.Xfer}
+	if _, ok := s.xfers[key]; !ok {
+		// Reordering can deliver chunks ahead of their manifest: hold a
+		// bounded few until it arrives (sweepEarly drops orphans, so a
+		// completed or timed-out transfer's stragglers die here too).
+		buf := s.early[key]
+		if len(buf) >= maxEarlyChunks {
+			return
+		}
+		if len(buf) == 0 {
+			s.sweepEarly(key)
+		}
+		s.early[key] = append(buf, cm)
+		return
+	}
+	s.applyChunk(key, from, cm)
+}
+
+// applyChunk feeds one chunk into an open transfer's reassembly.
+func (s *Store) applyChunk(key xferKey, from ids.ID, cm *ChunkMsg) {
+	x, ok := s.xfers[key]
+	if !ok {
+		return
+	}
+	done, err := x.ra.add(cm.Off, cm.Data)
+	if err != nil {
+		delete(s.xfers, key)
+		s.stats.ChunkCorrupt++
+		return
+	}
+	s.stats.ChunkFramesRecv++
+	x.progress++
+	if !done {
+		return
+	}
+	delete(s.xfers, key)
+	s.completeXfer(from, x)
+}
+
+// completeXfer dispatches a fully reassembled body to its purpose.
+func (s *Store) completeXfer(from ids.ID, x *xfer) {
+	switch x.purpose {
+	case xferReplicate:
+		s.setObject(x.guid, x.ra.buf)
+		if x.pin {
+			s.pinned[x.guid] = true
+		}
+	case xferCacheFill:
+		if !s.opts.DisableCache {
+			s.cache.put(x.guid, x.ra.buf)
+		}
+	case xferGetReply:
+		s.completeGet(x.reqID, true, x.guid.String(), x.ra.buf)
+	case xferPut:
+		s.storeAndReplicate(x.guid, x.ra.buf)
+		s.ep.Send(from, &AckMsg{ReqID: x.reqID, OK: true})
+	}
+}
+
+// handlePull runs at a large put's origin: the root asks for the bytes.
+func (s *Store) handlePull(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	pm := msg.(*PullMsg)
+	p, ok := s.pendingPuts[pm.ReqID]
+	if !ok || p.content == nil {
+		return // put already timed out (or bogus pull): nothing to stream
+	}
+	guid, err := ids.Parse(pm.GUID)
+	if err != nil {
+		return
+	}
+	s.sendChunked(from, xferPut, guid, p.content, pm.ReqID, 0, false, false)
+}

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"sort"
+
+	"github.com/gloss/active/internal/erasure"
+	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/netapi"
+	"github.com/gloss/active/internal/plaxton"
+	"github.com/gloss/active/internal/wire"
+)
+
+// Digest-driven replica maintenance and erasure-coded reconstruction.
+//
+// The seed repair loop blindly re-pushed k-1 full copies of every rooted
+// object each interval. The digest protocol inverts that: each interval
+// the root asks its replica targets for a GUID+length+hash summary of
+// what they hold and pushes only missing or stale replicas
+// (Stats.RepairSkipped / RepairBytes make the saving measurable). For
+// erasure-coded objects, a fragment root that finds its successor
+// fragment missing reconstructs it from any m surviving siblings via
+// erasure.Code instead of someone re-copying the whole object — loss
+// recovery traffic drops from O(object x hops) to O(fragment).
+// Options.LegacyReplication restores the blind-push reference path.
+
+// repair is the periodic maintenance pass (and the leaf-set-change
+// trigger): GC replicas this node is no longer responsible for, then
+// restore replication degree for rooted objects.
+func (s *Store) repair() {
+	guids := s.sortedGUIDs()
+	// Replica GC: churn shifts the k-closest window, and before this pass
+	// nothing ever removed a replica a node stopped being responsible
+	// for, so storage grew without bound. Runs in both modes so legacy
+	// and digest repair converge on identical placement.
+	for _, guid := range guids {
+		if s.pinned[guid] || s.isRoot(guid) || s.inReplicaRange(guid) {
+			continue
+		}
+		s.dropObject(guid)
+		s.stats.ReplicaEvictions++
+	}
+	if s.opts.LegacyReplication {
+		for _, guid := range guids {
+			if data, ok := s.objects[guid]; ok && s.isRoot(guid) {
+				s.replicate(guid, data)
+			}
+		}
+		return
+	}
+	s.digestRepair()
+	if !s.opts.DisableFragRepair {
+		s.fragCheck()
+	}
+}
+
+// sortedGUIDs snapshots the stored object keys in deterministic order.
+func (s *Store) sortedGUIDs() []ids.ID {
+	guids := make([]ids.ID, 0, len(s.objects))
+	for guid := range s.objects {
+		guids = append(guids, guid)
+	}
+	sort.Slice(guids, func(i, j int) bool { return ids.Less(guids[i], guids[j]) })
+	return guids
+}
+
+// inReplicaRange reports whether this node is one of the k nodes
+// numerically closest to guid among itself and its leaf set — i.e. still
+// a legitimate replica holder.
+func (s *Store) inReplicaRange(guid ids.ID) bool {
+	self := s.ep.ID()
+	closer := 0
+	for _, l := range s.overlay.Leaves() {
+		if ids.Closer(guid, l, self) {
+			closer++
+			if closer >= s.opts.Replicas {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// digestRepair opens a digest round: ask every current replica target
+// for its holdings summary; pushes happen in handleDigest.
+func (s *Store) digestRepair() {
+	want := make(map[ids.ID][]ids.ID)
+	for _, guid := range s.sortedGUIDs() {
+		if _, ok := s.objects[guid]; !ok || !s.isRoot(guid) {
+			continue
+		}
+		for _, t := range s.replicaTargets(guid) {
+			want[t] = append(want[t], guid)
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+	s.digestRound++
+	s.digestWant = want
+	targets := make([]ids.ID, 0, len(want))
+	for t := range want {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return ids.Less(targets[i], targets[j]) })
+	for _, t := range targets {
+		s.ep.Send(t, &DigestReqMsg{Round: s.digestRound})
+	}
+}
+
+// handleDigestReq runs at a replica holder: summarise everything held.
+func (s *Store) handleDigestReq(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	rq := msg.(*DigestReqMsg)
+	reply := &DigestMsg{Round: rq.Round}
+	for _, guid := range s.sortedGUIDs() {
+		data := s.objects[guid]
+		reply.Entries = append(reply.Entries, DigestEntry{
+			GUID: guid.String(),
+			Len:  len(data),
+			Hash: hash64(data),
+		})
+	}
+	s.ep.Send(from, reply)
+}
+
+// handleDigest runs at the root: compare the holder's summary against
+// what it should replicate for us and push only the gaps.
+func (s *Store) handleDigest(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	dm := msg.(*DigestMsg)
+	if dm.Round != s.digestRound {
+		return // stale round: a fresh one is already in flight
+	}
+	want := s.digestWant[from]
+	if len(want) == 0 {
+		return
+	}
+	delete(s.digestWant, from)
+	held := make(map[string]DigestEntry, len(dm.Entries))
+	for _, e := range dm.Entries {
+		held[e.GUID] = e
+	}
+	for _, guid := range want {
+		data, ok := s.objects[guid]
+		if !ok || !s.isRoot(guid) {
+			continue // dropped or re-rooted since the round opened
+		}
+		if e, ok := held[guid.String()]; ok && e.Len == len(data) && e.Hash == hash64(data) {
+			s.stats.RepairSkipped++
+			continue
+		}
+		s.pushReplica(from, guid, data)
+	}
+}
+
+// pushReplica sends one replica copy (chunked when large) and accounts it.
+func (s *Store) pushReplica(to ids.ID, guid ids.ID, data []byte) {
+	s.pushReplicaPinned(to, guid, data, false)
+}
+
+func (s *Store) pushReplicaPinned(to ids.ID, guid ids.ID, data []byte, pin bool) {
+	s.stats.RepairPushes++
+	s.stats.RepairBytes += uint64(len(data))
+	s.sendObjectPinned(to, xferReplicate, guid, data, pin)
+}
+
+// --- erasure-coded reconstruction ------------------------------------------
+
+// statProbe is one in-flight fragment existence check.
+type statProbe struct {
+	missing ids.ID // storage key of the fragment being probed
+	meta    fragMeta
+	index   int    // fragment index under probe
+	root    ids.ID // node that answered the stat — the missing key's root
+	timer   interface{ Stop() bool }
+}
+
+// fragCheck runs at fragment roots: each checks its successor sibling
+// (i+1 mod total), so every fragment of a coded object has exactly one
+// designated checker and a single loss triggers a single repair. A run
+// of adjacent losses heals over successive rounds as each repaired
+// fragment starts checking its own successor.
+func (s *Store) fragCheck() {
+	for _, guid := range s.sortedGUIDs() {
+		data, ok := s.objects[guid]
+		if !ok || !s.isRoot(guid) {
+			continue
+		}
+		f, meta, err := unpackFragment(data)
+		if err != nil {
+			continue // not a coded fragment
+		}
+		total := meta.data + meta.parity
+		if total < 2 || f.Index >= total {
+			continue
+		}
+		next := (f.Index + 1) % total
+		missing := fragGUID(meta.object, next)
+		if _, held := s.objects[missing]; held {
+			continue // we root both: trivially present
+		}
+		if s.fragBusy[missing] {
+			continue // probe or repair already in flight
+		}
+		s.statFragment(missing, meta, next)
+	}
+}
+
+// statFragment probes whether a sibling fragment still exists anywhere,
+// via a routed stat (no body transfer).
+func (s *Store) statFragment(missing ids.ID, meta fragMeta, index int) {
+	s.fragBusy[missing] = true
+	s.nextReq++
+	req := s.nextReq
+	p := &statProbe{missing: missing, meta: meta, index: index}
+	p.timer = s.ep.Clock().After(s.opts.RequestTimeout, func() {
+		if _, ok := s.pendingStats[req]; !ok {
+			return
+		}
+		delete(s.pendingStats, req)
+		delete(s.fragBusy, missing) // unknown: retry next repair round
+	})
+	s.pendingStats[req] = p
+	if err := s.overlay.Route(missing, &StatMsg{GUID: missing.String(), ReqID: req}); err != nil {
+		p.timer.Stop()
+		delete(s.pendingStats, req)
+		delete(s.fragBusy, missing)
+	}
+}
+
+// deliverStat runs at the probed key's root.
+func (s *Store) deliverStat(info plaxton.RouteInfo, msg wire.Message) {
+	sm := msg.(*StatMsg)
+	guid, err := ids.Parse(sm.GUID)
+	if err != nil {
+		return
+	}
+	data, ok := s.objects[guid]
+	reply := &StatReplyMsg{ReqID: sm.ReqID, Found: ok, Len: len(data)}
+	if info.Origin == s.ep.ID() {
+		s.handleStatReply(nil, s.ep.ID(), reply)
+		return
+	}
+	s.ep.Send(info.Origin, reply)
+}
+
+func (s *Store) handleStatReply(_ netapi.Ctx, from ids.ID, msg wire.Message) {
+	rm := msg.(*StatReplyMsg)
+	p, ok := s.pendingStats[rm.ReqID]
+	if !ok {
+		return
+	}
+	delete(s.pendingStats, rm.ReqID)
+	p.timer.Stop()
+	if rm.Found {
+		delete(s.fragBusy, p.missing)
+		return
+	}
+	// The stat was routed to the missing key's root, so the replier IS
+	// the node responsible for the rebuilt fragment — remember it and
+	// push direct rather than routing a second time.
+	p.root = from
+	s.repairFragment(p)
+}
+
+// repairFragment gathers any m surviving sibling fragments (locally held
+// ones first — those cost nothing) and rebuilds the missing one.
+func (s *Store) repairFragment(p *statProbe) {
+	total := p.meta.data + p.meta.parity
+	need := p.meta.data
+	// Candidate siblings, locally held ones first (those cost nothing).
+	candidates := make([]int, 0, total-1)
+	for i := 0; i < total; i++ {
+		if i == p.index {
+			continue
+		}
+		if _, held := s.objects[fragGUID(p.meta.object, i)]; held {
+			candidates = append(candidates, i)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if i == p.index {
+			continue
+		}
+		if _, held := s.objects[fragGUID(p.meta.object, i)]; !held {
+			candidates = append(candidates, i)
+		}
+	}
+
+	var (
+		frags    []erasure.Fragment
+		seen     = make(map[int]bool, need)
+		next     int
+		inflight int
+		done     bool
+		launch   func()
+	)
+	onFrag := func(data []byte, err error) {
+		inflight--
+		if done {
+			return
+		}
+		if err == nil {
+			if f, meta, perr := unpackFragment(data); perr == nil && meta.object == p.meta.object && !seen[f.Index] {
+				seen[f.Index] = true
+				frags = append(frags, f)
+				if len(frags) == need {
+					done = true
+					s.rebuildFragment(p, frags)
+					return
+				}
+			}
+		}
+		launch()
+	}
+	launch = func() {
+		// Fetch only as many siblings as reconstruction still needs;
+		// failures pull the next candidate in.
+		for !done && len(frags)+inflight < need && next < len(candidates) {
+			idx := candidates[next]
+			next++
+			inflight++
+			s.Get(fragGUID(p.meta.object, idx), onFrag)
+		}
+		if !done && inflight == 0 && len(frags) < need {
+			done = true
+			delete(s.fragBusy, p.missing) // too few survivors; retry later
+		}
+	}
+	launch()
+}
+
+// rebuildFragment decodes the object from the gathered fragments,
+// re-encodes, and stores the missing fragment back under its own key.
+func (s *Store) rebuildFragment(p *statProbe, frags []erasure.Fragment) {
+	code, err := erasure.NewCode(p.meta.data, p.meta.parity)
+	if err != nil {
+		delete(s.fragBusy, p.missing)
+		return
+	}
+	content, err := code.Decode(frags)
+	if err != nil {
+		delete(s.fragBusy, p.missing)
+		return
+	}
+	rebuilt := code.Encode(content)
+	if p.index >= len(rebuilt) {
+		delete(s.fragBusy, p.missing)
+		return
+	}
+	s.stats.FragRepairs++
+	packed := packFragment(p.meta.object, p.meta.data, p.meta.parity, rebuilt[p.index])
+	if p.root != (ids.ID{}) && p.root != s.ep.ID() {
+		// The stat reply identified the fragment's root: hand the rebuilt
+		// fragment straight to it (one hop, O(fragment) traffic) instead
+		// of routing a put through the overlay. Loss is safe — the next
+		// repair round re-probes and re-pushes.
+		s.pushReplica(p.root, p.missing, packed)
+		delete(s.fragBusy, p.missing)
+		return
+	}
+	s.PutAs(p.missing, packed, func(error) { delete(s.fragBusy, p.missing) })
+}

@@ -4,11 +4,16 @@ import (
 	"github.com/gloss/active/internal/wire"
 )
 
-// PutMsg is routed toward an object's root to store it.
+// PutMsg is routed toward an object's root to store it. Large objects
+// travel without Data: Size announces the body length and the root pulls
+// the bytes directly from Origin (PullMsg → manifest/chunk stream), so
+// the routed control frame stays small and the object never crosses the
+// overlay hop by hop.
 type PutMsg struct {
 	GUID   string     `xml:"guid,attr"`
 	ReqID  uint64     `xml:"req,attr"`
 	Origin string     `xml:"origin,attr"`
+	Size   int        `xml:"size,attr,omitempty"`
 	Data   wire.Bytes `xml:"data"`
 }
 
@@ -48,9 +53,13 @@ type GetReplyMsg struct {
 // Kind implements wire.Message.
 func (GetReplyMsg) Kind() string { return "store.getReply" }
 
-// ReplicateMsg pushes a replica to a leaf-set neighbour.
+// ReplicateMsg pushes a replica to a leaf-set neighbour. Pin marks a
+// policy-placed copy (deliverPush targets chosen by the §4.6 placement
+// policies, deliberately outside the k-closest range) that replica GC
+// must not reclaim.
 type ReplicateMsg struct {
 	GUID string     `xml:"guid,attr"`
+	Pin  bool       `xml:"pin,attr,omitempty"`
 	Data wire.Bytes `xml:"data"`
 }
 
@@ -77,6 +86,98 @@ type PushMsg struct {
 // Kind implements wire.Message.
 func (PushMsg) Kind() string { return "store.push" }
 
+// PullMsg asks a put's origin to stream the announced object directly to
+// the sender (the object's root). Piri-style: routing decides placement,
+// the bytes travel point-to-point.
+type PullMsg struct {
+	GUID  string `xml:"guid,attr"`
+	ReqID uint64 `xml:"req,attr"`
+}
+
+// Kind implements wire.Message.
+func (PullMsg) Kind() string { return "store.pull" }
+
+// ManifestMsg opens a chunked transfer: the receiver allocates reassembly
+// state for TotalLen bytes arriving as Chunk-sized ChunkMsg frames.
+// Purpose selects what happens on completion (replicate, cache fill, get
+// reply, put), with ReqID/Hops/FromCache carrying the purpose-specific
+// context a whole-object message would have carried inline.
+type ManifestMsg struct {
+	Xfer      uint64 `xml:"xfer,attr"`
+	GUID      string `xml:"guid,attr"`
+	Purpose   int    `xml:"purpose,attr"`
+	TotalLen  int    `xml:"len,attr"`
+	Chunk     int    `xml:"chunk,attr"`
+	Hash      uint64 `xml:"hash,attr"`
+	ReqID     uint64 `xml:"req,attr,omitempty"`
+	Hops      int    `xml:"hops,attr,omitempty"`
+	FromCache bool   `xml:"cache,attr,omitempty"`
+	Pin       bool   `xml:"pin,attr,omitempty"`
+}
+
+// Kind implements wire.Message.
+func (ManifestMsg) Kind() string { return "store.manifest" }
+
+// ChunkMsg carries one offset-addressed slice of a chunked transfer.
+// Deliberately NOT a wire.ControlMessage: chunks are data and must feel
+// outbox backpressure (a saturated link sheds them; the transfer times
+// out and repair retries) rather than bypass the byte budget.
+type ChunkMsg struct {
+	Xfer uint64     `xml:"xfer,attr"`
+	Off  int        `xml:"off,attr"`
+	Data wire.Bytes `xml:"data"`
+}
+
+// Kind implements wire.Message.
+func (ChunkMsg) Kind() string { return "store.chunk" }
+
+// DigestReqMsg asks a replica holder for a summary of everything it
+// stores, so the requesting root can push only missing/stale replicas.
+type DigestReqMsg struct {
+	Round uint64 `xml:"round,attr"`
+}
+
+// Kind implements wire.Message.
+func (DigestReqMsg) Kind() string { return "store.digestReq" }
+
+// DigestEntry summarises one stored object: enough for the root to decide
+// whether its replica is present and current without moving the bytes.
+type DigestEntry struct {
+	GUID string `xml:"guid,attr"`
+	Len  int    `xml:"len,attr"`
+	Hash uint64 `xml:"hash,attr"`
+}
+
+// DigestMsg answers a DigestReqMsg with the holder's full object summary.
+type DigestMsg struct {
+	Round   uint64        `xml:"round,attr"`
+	Entries []DigestEntry `xml:"e"`
+}
+
+// Kind implements wire.Message.
+func (DigestMsg) Kind() string { return "store.digest" }
+
+// StatMsg is routed toward an object's root to probe existence without
+// transferring the body — the cheap "is this fragment still alive?" check
+// behind erasure-coded repair.
+type StatMsg struct {
+	GUID  string `xml:"guid,attr"`
+	ReqID uint64 `xml:"req,attr"`
+}
+
+// Kind implements wire.Message.
+func (StatMsg) Kind() string { return "store.stat" }
+
+// StatReplyMsg answers a StatMsg, sent directly to the probe's origin.
+type StatReplyMsg struct {
+	ReqID uint64 `xml:"req,attr"`
+	Found bool   `xml:"found,attr"`
+	Len   int    `xml:"len,attr"`
+}
+
+// Kind implements wire.Message.
+func (StatReplyMsg) Kind() string { return "store.statReply" }
+
 // RegisterMessages records all storage message types in a wire registry.
 func RegisterMessages(r *wire.Registry) {
 	r.Register(&PutMsg{})
@@ -86,4 +187,11 @@ func RegisterMessages(r *wire.Registry) {
 	r.Register(&ReplicateMsg{})
 	r.Register(&CacheFillMsg{})
 	r.Register(&PushMsg{})
+	r.Register(&PullMsg{})
+	r.Register(&ManifestMsg{})
+	r.Register(&ChunkMsg{})
+	r.Register(&DigestReqMsg{})
+	r.Register(&DigestMsg{})
+	r.Register(&StatMsg{})
+	r.Register(&StatReplyMsg{})
 }

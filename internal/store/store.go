@@ -47,6 +47,25 @@ type Options struct {
 	// PutCoded/GetCoded. Defaults 4 and 2.
 	ErasureData   int
 	ErasureParity int
+	// ChunkBytes caps the payload of one data-carrying frame: bodies
+	// larger than this stream as offset-addressed store.chunk frames
+	// behind a store.manifest instead of one giant frame through the
+	// byte-budgeted outbox. Default 64 KiB; negative disables chunking.
+	ChunkBytes int
+	// ChunkTimeout bounds how long a partly-received transfer may sit
+	// without progress before its reassembly state is dropped. Default 30s.
+	ChunkTimeout time.Duration
+	// MaxObjectBytes rejects transfer manifests announcing bodies larger
+	// than this (hostile-manifest allocation bound). Default 64 MiB.
+	MaxObjectBytes int
+	// LegacyReplication restores the seed storage plane as the reference
+	// path: whole-object replica/cache-fill/reply frames (no chunking)
+	// and blind interval repair that re-pushes every rooted object
+	// (no digests, no erasure reconstruction).
+	LegacyReplication bool
+	// DisableFragRepair turns off erasure-coded fragment reconstruction
+	// (the E-T16 whole-object re-copy ablation).
+	DisableFragRepair bool
 }
 
 func (o *Options) applyDefaults() {
@@ -71,30 +90,57 @@ func (o *Options) applyDefaults() {
 	if o.ErasureParity == 0 {
 		o.ErasureParity = 2
 	}
+	if o.ChunkBytes == 0 {
+		o.ChunkBytes = 64 << 10
+	}
+	if o.ChunkTimeout == 0 {
+		o.ChunkTimeout = 30 * time.Second
+	}
+	if o.MaxObjectBytes == 0 {
+		o.MaxObjectBytes = 64 << 20
+	}
 }
 
 // Stats counts storage activity.
 type Stats struct {
-	Puts          uint64
-	Gets          uint64
-	LocalHits     uint64 // answered before touching the network
-	CacheHits     uint64 // answered from a path node's cache
-	ReplicaHits   uint64 // answered from a path node's replica set
-	RootAnswers   uint64 // answered by the object's root
-	NotFound      uint64
-	Timeouts      uint64
-	Retries       uint64
-	CacheFills    uint64
-	RepairPushes  uint64
-	StoredObjects int
-	StoredBytes   int64
-	CacheObjects  int
-	CacheBytes    int64
+	Puts         uint64
+	Gets         uint64
+	LocalHits    uint64 // answered before touching the network
+	CacheHits    uint64 // answered from a path node's cache
+	ReplicaHits  uint64 // answered from a path node's replica set
+	RootAnswers  uint64 // answered by the object's root
+	NotFound     uint64
+	Timeouts     uint64
+	Retries      uint64
+	CacheFills   uint64
+	RepairPushes uint64
+	// RepairSkipped counts replicas a digest round proved present and
+	// current, so no bytes moved; RepairBytes counts payload bytes that
+	// did move in replica pushes.
+	RepairSkipped uint64
+	RepairBytes   uint64
+	// ReplicaEvictions counts out-of-range replicas GC'd during repair.
+	ReplicaEvictions uint64
+	// FragRepairs counts erasure-coded fragments reconstructed from
+	// surviving siblings.
+	FragRepairs uint64
+	// Chunked-transfer accounting.
+	ChunkFramesSent uint64
+	ChunkFramesRecv uint64
+	ChunkTimeouts   uint64
+	ChunkCorrupt    uint64
+	StoredObjects   int
+	StoredBytes     int64
+	CacheObjects    int
+	CacheBytes      int64
 }
 
 type pendingPut struct {
 	cb    func(error)
 	timer interface{ Stop() bool }
+	// content pins a large put's body at the origin until the root pulls
+	// it (or the put times out).
+	content []byte
 }
 
 type pendingGet struct {
@@ -111,12 +157,32 @@ type Store struct {
 	opts    Options
 	code    *erasure.Code
 
-	objects map[ids.ID][]byte
-	cache   *lruCache
+	objects     map[ids.ID][]byte
+	storedBytes int64 // incremental sum of len(objects[*]), kept by setObject/dropObject
+	// pinned marks policy-placed copies (deliverPush) that replica GC
+	// must leave alone even though this node is outside the k-closest
+	// range for them.
+	pinned map[ids.ID]bool
+	cache  *lruCache
 
 	nextReq     uint64
 	pendingPuts map[uint64]*pendingPut
 	pendingGets map[uint64]*pendingGet
+
+	// Chunked-transfer reassembly, keyed per sender. early holds chunks
+	// the network delivered ahead of their manifest.
+	nextXfer uint64
+	xfers    map[xferKey]*xfer
+	early    map[xferKey][]*ChunkMsg
+
+	// Digest repair round state: what the current round asked each
+	// replica target to confirm.
+	digestRound uint64
+	digestWant  map[ids.ID][]ids.ID
+
+	// Erasure reconstruction state.
+	pendingStats map[uint64]*statProbe
+	fragBusy     map[ids.ID]bool
 
 	stats Stats
 }
@@ -129,23 +195,36 @@ func New(ep netapi.Endpoint, overlay *plaxton.Overlay, opts Options) *Store {
 		panic(fmt.Sprintf("store: bad erasure parameters: %v", err)) // programmer error at wiring time
 	}
 	s := &Store{
-		ep:          ep,
-		overlay:     overlay,
-		opts:        opts,
-		code:        code,
-		objects:     make(map[ids.ID][]byte),
-		cache:       newLRU(opts.CacheBytes),
-		pendingPuts: make(map[uint64]*pendingPut),
-		pendingGets: make(map[uint64]*pendingGet),
+		ep:           ep,
+		overlay:      overlay,
+		opts:         opts,
+		code:         code,
+		objects:      make(map[ids.ID][]byte),
+		pinned:       make(map[ids.ID]bool),
+		cache:        newLRU(opts.CacheBytes),
+		pendingPuts:  make(map[uint64]*pendingPut),
+		pendingGets:  make(map[uint64]*pendingGet),
+		xfers:        make(map[xferKey]*xfer),
+		early:        make(map[xferKey][]*ChunkMsg),
+		digestWant:   make(map[ids.ID][]ids.ID),
+		pendingStats: make(map[uint64]*statProbe),
+		fragBusy:     make(map[ids.ID]bool),
 	}
 	overlay.OnDeliver("store.put", s.deliverPut)
 	overlay.OnDeliver("store.get", s.deliverGet)
 	overlay.OnDeliver("store.push", s.deliverPush)
+	overlay.OnDeliver("store.stat", s.deliverStat)
 	overlay.SetForwardHook(s.forwardHook)
 	ep.Handle("store.ack", s.handleAck)
 	ep.Handle("store.getReply", s.handleGetReply)
 	ep.Handle("store.replicate", s.handleReplicate)
 	ep.Handle("store.cacheFill", s.handleCacheFill)
+	ep.Handle("store.pull", s.handlePull)
+	ep.Handle("store.manifest", s.handleManifest)
+	ep.Handle("store.chunk", s.handleChunk)
+	ep.Handle("store.digestReq", s.handleDigestReq)
+	ep.Handle("store.digest", s.handleDigest)
+	ep.Handle("store.statReply", s.handleStatReply)
 	// RepairInterval < 0 disables maintenance entirely, including the
 	// leaf-set-change trigger (the E-T2 no-healing ablation).
 	if opts.RepairInterval > 0 {
@@ -158,16 +237,35 @@ func New(ep netapi.Endpoint, overlay *plaxton.Overlay, opts Options) *Store {
 // GUIDFor returns the content-hash GUID an object will be stored under.
 func GUIDFor(content []byte) ids.ID { return ids.FromBytes(content) }
 
-// Stats returns a snapshot of counters and occupancy.
+// Stats returns a snapshot of counters and occupancy. O(1): stored
+// occupancy is maintained incrementally on store/overwrite/evict rather
+// than recomputed by iterating every object.
 func (s *Store) Stats() Stats {
 	st := s.stats
 	st.StoredObjects = len(s.objects)
-	for _, d := range s.objects {
-		st.StoredBytes += int64(len(d))
-	}
+	st.StoredBytes = s.storedBytes
 	st.CacheObjects = s.cache.len()
 	st.CacheBytes = s.cache.used()
 	return st
+}
+
+// setObject stores or overwrites a primary/replica copy, keeping the
+// incremental occupancy counters exact.
+func (s *Store) setObject(guid ids.ID, data []byte) {
+	if old, ok := s.objects[guid]; ok {
+		s.storedBytes -= int64(len(old))
+	}
+	s.objects[guid] = data
+	s.storedBytes += int64(len(data))
+}
+
+// dropObject removes a stored copy, keeping the occupancy counters exact.
+func (s *Store) dropObject(guid ids.ID) {
+	if old, ok := s.objects[guid]; ok {
+		s.storedBytes -= int64(len(old))
+		delete(s.objects, guid)
+		delete(s.pinned, guid)
+	}
 }
 
 // Holds reports whether this node stores a primary/replica copy.
@@ -192,12 +290,20 @@ func (s *Store) Put(content []byte, cb func(ids.ID, error)) {
 }
 
 // PutAs stores content under an explicit GUID (used for mutable keys such
-// as fact-base entries and matchlet directories).
+// as fact-base entries and matchlet directories). Bodies above the chunk
+// threshold are announced by size only: the routed frame stays small and
+// the root pulls the bytes directly from this node (piri-style — routing
+// decides placement, data travels point-to-point).
 func (s *Store) PutAs(guid ids.ID, content []byte, cb func(error)) {
 	s.stats.Puts++
 	s.nextReq++
 	req := s.nextReq
 	p := &pendingPut{cb: cb}
+	big := false
+	if cbytes := s.chunkBytes(); cbytes > 0 && len(content) > cbytes {
+		big = true
+		p.content = content
+	}
 	p.timer = s.ep.Clock().After(s.opts.RequestTimeout, func() {
 		if _, ok := s.pendingPuts[req]; ok {
 			delete(s.pendingPuts, req)
@@ -206,7 +312,12 @@ func (s *Store) PutAs(guid ids.ID, content []byte, cb func(error)) {
 		}
 	})
 	s.pendingPuts[req] = p
-	msg := &PutMsg{GUID: guid.String(), ReqID: req, Origin: s.ep.ID().String(), Data: content}
+	msg := &PutMsg{GUID: guid.String(), ReqID: req, Origin: s.ep.ID().String()}
+	if big {
+		msg.Size = len(content)
+	} else {
+		msg.Data = content
+	}
 	if err := s.overlay.Route(guid, msg); err != nil {
 		p.timer.Stop()
 		delete(s.pendingPuts, req)
@@ -266,24 +377,67 @@ func fragGUID(guid ids.ID, i int) ids.ID {
 	return ids.FromString(fmt.Sprintf("%s/frag/%d", guid, i))
 }
 
-// packFragment serialises a fragment as a small binary header + shard.
-func packFragment(f erasure.Fragment) []byte {
-	out := make([]byte, 8+len(f.Shard))
-	binary.BigEndian.PutUint32(out[0:4], uint32(f.Index))
-	binary.BigEndian.PutUint32(out[4:8], uint32(f.OrigLen))
-	copy(out[8:], f.Shard)
-	return out
+// FragmentGUID returns the storage key of fragment i of a coded object —
+// exported so experiments can observe fragment placement and loss.
+func FragmentGUID(guid ids.ID, i int) ids.ID { return fragGUID(guid, i) }
+
+// Fragment storage format: a magic pair, the parent object's GUID and
+// the full code geometry, so that ANY holder of any fragment knows how
+// to check and reconstruct its siblings (the basis of erasure-coded
+// repair — the seed format carried only index+length, so nobody but the
+// original writer could rebuild a lost fragment).
+const (
+	fragMagic0 = 0xF5
+	fragMagic1 = 0x9A
+)
+
+// fragMeta is the self-describing header of a stored fragment.
+type fragMeta struct {
+	object ids.ID // GUID of the coded object the fragment belongs to
+	data   int    // m: fragments needed to reconstruct
+	parity int    // r: redundant fragments
 }
 
-func unpackFragment(b []byte) (erasure.Fragment, error) {
-	if len(b) < 8 {
-		return erasure.Fragment{}, fmt.Errorf("store: fragment too short (%d bytes)", len(b))
+// packFragment serialises a fragment with its geometry header.
+func packFragment(object ids.ID, data, parity int, f erasure.Fragment) []byte {
+	out := make([]byte, 0, 2+ids.Size+4*binary.MaxVarintLen32+len(f.Shard))
+	out = append(out, fragMagic0, fragMagic1)
+	out = append(out, object[:]...)
+	out = binary.AppendUvarint(out, uint64(data))
+	out = binary.AppendUvarint(out, uint64(parity))
+	out = binary.AppendUvarint(out, uint64(f.Index))
+	out = binary.AppendUvarint(out, uint64(f.OrigLen))
+	return append(out, f.Shard...)
+}
+
+func unpackFragment(b []byte) (erasure.Fragment, fragMeta, error) {
+	var meta fragMeta
+	if len(b) < 2+ids.Size || b[0] != fragMagic0 || b[1] != fragMagic1 {
+		return erasure.Fragment{}, meta, fmt.Errorf("store: not a coded fragment (%d bytes)", len(b))
 	}
-	return erasure.Fragment{
-		Index:   int(binary.BigEndian.Uint32(b[0:4])),
-		OrigLen: int(binary.BigEndian.Uint32(b[4:8])),
-		Shard:   b[8:],
-	}, nil
+	copy(meta.object[:], b[2:2+ids.Size])
+	rest := b[2+ids.Size:]
+	fields := make([]uint64, 4)
+	for i := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return erasure.Fragment{}, meta, fmt.Errorf("store: truncated fragment header")
+		}
+		fields[i] = v
+		rest = rest[n:]
+	}
+	meta.data, meta.parity = int(fields[0]), int(fields[1])
+	index, origLen := int(fields[2]), int(fields[3])
+	if meta.data < 1 || meta.parity < 0 || meta.data+meta.parity > 255 {
+		return erasure.Fragment{}, meta, fmt.Errorf("store: fragment geometry m=%d r=%d invalid", meta.data, meta.parity)
+	}
+	if index < 0 || index >= meta.data+meta.parity {
+		return erasure.Fragment{}, meta, fmt.Errorf("store: fragment index %d out of range", index)
+	}
+	if origLen < 0 || origLen > meta.data*len(rest) {
+		return erasure.Fragment{}, meta, fmt.Errorf("store: fragment claims %d original bytes with %d-byte shards", origLen, len(rest))
+	}
+	return erasure.Fragment{Index: index, OrigLen: origLen, Shard: rest}, meta, nil
 }
 
 // PutCoded stores content as m+r erasure-coded fragments spread over the
@@ -296,7 +450,7 @@ func (s *Store) PutCoded(content []byte, cb func(ids.ID, error)) {
 	acked, failed, done := 0, 0, false
 	total := len(frags)
 	for i, f := range frags {
-		s.PutAs(fragGUID(guid, i), packFragment(f), func(err error) {
+		s.PutAs(fragGUID(guid, i), packFragment(guid, s.code.Data(), total-s.code.Data(), f), func(err error) {
 			if done {
 				return
 			}
@@ -337,9 +491,16 @@ func (s *Store) GetCoded(guid ids.ID, cb func([]byte, error)) {
 				}
 				return
 			}
-			f, perr := unpackFragment(data)
+			f, _, perr := unpackFragment(data)
 			if perr != nil {
+				// An unreadable fragment counts as lost: without the
+				// threshold re-check here a corrupt final fragment left
+				// the callback unfired forever.
 				failed++
+				if failed > total-need {
+					done = true
+					cb(nil, fmt.Errorf("store: coded get %s: %w (%d fragments lost or corrupt)", guid.Short(), ErrNotFound, failed))
+				}
 				return
 			}
 			frags = append(frags, f)
@@ -369,8 +530,22 @@ func (s *Store) deliverPut(_ plaxton.RouteInfo, msg wire.Message) {
 	if err != nil {
 		return
 	}
-	s.objects[guid] = pm.Data
-	s.replicate(guid, pm.Data)
+	if len(pm.Data) == 0 && pm.Size > 0 {
+		// Large put: the body did not ride the routed frame. Pull it
+		// directly from the origin (manifest + chunk stream); the ack is
+		// sent when reassembly completes.
+		if origin == s.ep.ID() {
+			// We are both origin and root: the body is pinned locally.
+			if p, ok := s.pendingPuts[pm.ReqID]; ok && p.content != nil {
+				s.storeAndReplicate(guid, p.content)
+				s.handleAck(nil, s.ep.ID(), &AckMsg{ReqID: pm.ReqID, OK: true})
+			}
+			return
+		}
+		s.ep.Send(origin, &PullMsg{GUID: pm.GUID, ReqID: pm.ReqID})
+		return
+	}
+	s.storeAndReplicate(guid, pm.Data)
 	if origin == s.ep.ID() {
 		s.handleAck(nil, s.ep.ID(), &AckMsg{ReqID: pm.ReqID, OK: true})
 		return
@@ -378,11 +553,16 @@ func (s *Store) deliverPut(_ plaxton.RouteInfo, msg wire.Message) {
 	s.ep.Send(origin, &AckMsg{ReqID: pm.ReqID, OK: true})
 }
 
+// storeAndReplicate is the root's store step for a completed put.
+func (s *Store) storeAndReplicate(guid ids.ID, data []byte) {
+	s.setObject(guid, data)
+	s.replicate(guid, data)
+}
+
 // replicate pushes copies to the k-1 leaf-set nodes closest to guid.
 func (s *Store) replicate(guid ids.ID, data []byte) {
 	for _, n := range s.replicaTargets(guid) {
-		s.stats.RepairPushes++
-		s.ep.Send(n, &ReplicateMsg{GUID: guid.String(), Data: data})
+		s.pushReplica(n, guid, data)
 	}
 }
 
@@ -422,8 +602,9 @@ func (s *Store) deliverPush(_ plaxton.RouteInfo, msg wire.Message) {
 	if !ok {
 		return
 	}
-	s.stats.RepairPushes++
-	s.ep.Send(target, &ReplicateMsg{GUID: guid.String(), Data: data})
+	// Pinned: the policy chose this target deliberately; replica GC must
+	// not reclaim the copy for being outside the k-closest range.
+	s.pushReplicaPinned(target, guid, data, true)
 }
 
 // deliverGet runs at the object's root (if no path copy answered first).
@@ -452,7 +633,7 @@ func (s *Store) deliverGet(info plaxton.RouteInfo, msg wire.Message) {
 		s.handleGetReply(nil, s.ep.ID(), reply)
 		return
 	}
-	s.ep.Send(info.Origin, reply)
+	s.sendGetReply(info.Origin, reply)
 }
 
 // cacheFillPath seeds the last traversed node's cache.
@@ -468,7 +649,7 @@ func (s *Store) cacheFillPath(path []ids.ID, guid ids.ID, data []byte) {
 		last = path[len(path)-2]
 	}
 	s.stats.CacheFills++
-	s.ep.Send(last, &CacheFillMsg{GUID: guid.String(), Data: data})
+	s.sendObject(last, xferCacheFill, guid, data)
 }
 
 // forwardHook answers gets mid-path from replicas or the promiscuous cache.
@@ -492,7 +673,7 @@ func (s *Store) forwardHook(info plaxton.RouteInfo, msg wire.Message) bool {
 		s.stats.ReplicaHits++
 		reply.Found = true
 		reply.Data = data
-		s.ep.Send(info.Origin, reply)
+		s.sendGetReply(info.Origin, reply)
 		return true
 	}
 	if !s.opts.DisableCache {
@@ -501,7 +682,7 @@ func (s *Store) forwardHook(info plaxton.RouteInfo, msg wire.Message) bool {
 			reply.Found = true
 			reply.FromCache = true
 			reply.Data = data
-			s.ep.Send(info.Origin, reply)
+			s.sendGetReply(info.Origin, reply)
 			return true
 		}
 	}
@@ -525,21 +706,27 @@ func (s *Store) handleAck(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
 
 func (s *Store) handleGetReply(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
 	rm := msg.(*GetReplyMsg)
-	g, ok := s.pendingGets[rm.ReqID]
+	s.completeGet(rm.ReqID, rm.Found, rm.GUID, rm.Data)
+}
+
+// completeGet resolves a pending get — from a whole-frame reply or a
+// reassembled chunked transfer.
+func (s *Store) completeGet(reqID uint64, found bool, guidStr string, data []byte) {
+	g, ok := s.pendingGets[reqID]
 	if !ok {
 		return
 	}
-	delete(s.pendingGets, rm.ReqID)
+	delete(s.pendingGets, reqID)
 	g.timer.Stop()
-	if !rm.Found {
-		g.cb(nil, fmt.Errorf("%w: %s", ErrNotFound, rm.GUID))
+	if !found {
+		g.cb(nil, fmt.Errorf("%w: %s", ErrNotFound, guidStr))
 		return
 	}
 	// Promiscuous caching at the reader.
 	if !s.opts.DisableCache {
-		s.cache.put(g.guid, rm.Data)
+		s.cache.put(g.guid, data)
 	}
-	g.cb(rm.Data, nil)
+	g.cb(data, nil)
 }
 
 func (s *Store) handleReplicate(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
@@ -548,7 +735,10 @@ func (s *Store) handleReplicate(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
 	if err != nil {
 		return
 	}
-	s.objects[guid] = rm.Data
+	s.setObject(guid, rm.Data)
+	if rm.Pin {
+		s.pinned[guid] = true
+	}
 }
 
 func (s *Store) handleCacheFill(_ netapi.Ctx, _ ids.ID, msg wire.Message) {
@@ -574,23 +764,6 @@ func (s *Store) startRepair() {
 		s.ep.Clock().After(s.opts.RepairInterval, tick)
 	}
 	s.ep.Clock().After(s.opts.RepairInterval, tick)
-}
-
-// repair re-pushes replicas for every object this node is root of — the
-// RAID-like self-healing of §4.6: "a rule might create 5 copies of some
-// data for resilience, but over time some of these might become
-// unavailable — in which case further copies should be made".
-func (s *Store) repair() {
-	guids := make([]ids.ID, 0, len(s.objects))
-	for guid := range s.objects {
-		guids = append(guids, guid)
-	}
-	sort.Slice(guids, func(i, j int) bool { return ids.Less(guids[i], guids[j]) })
-	for _, guid := range guids {
-		if s.isRoot(guid) {
-			s.replicate(guid, s.objects[guid])
-		}
-	}
 }
 
 // isRoot reports whether this node is numerically closest to guid among

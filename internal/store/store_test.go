@@ -16,9 +16,12 @@ import (
 
 // cluster is a joined overlay + store on every node.
 type cluster struct {
-	world  *simnet.World
-	stores []*Store
-	byID   map[ids.ID]*Store
+	world    *simnet.World
+	stores   []*Store
+	byID     map[ids.ID]*Store
+	overlays []*plaxton.Overlay
+	reg      *wire.Registry
+	rng      *rand.Rand
 }
 
 func buildCluster(t testing.TB, seed int64, n int, opts Options) *cluster {
@@ -28,8 +31,7 @@ func buildCluster(t testing.TB, seed int64, n int, opts Options) *cluster {
 	plaxton.RegisterMessages(reg)
 	RegisterMessages(reg)
 	rng := rand.New(rand.NewSource(seed))
-	c := &cluster{world: w, byID: make(map[ids.ID]*Store)}
-	var overlays []*plaxton.Overlay
+	c := &cluster{world: w, byID: make(map[ids.ID]*Store), reg: reg, rng: rng}
 	for i := 0; i < n; i++ {
 		id := ids.Random(rng)
 		node := w.NewNode(id, "r", netapi.Coord{X: rng.Float64() * 3000, Y: rng.Float64() * 3000})
@@ -39,14 +41,14 @@ func buildCluster(t testing.TB, seed int64, n int, opts Options) *cluster {
 			LeafHalf:          4,
 		})
 		st := New(node, ov, opts)
-		overlays = append(overlays, ov)
+		c.overlays = append(c.overlays, ov)
 		c.stores = append(c.stores, st)
 		c.byID[id] = st
 	}
-	overlays[0].CreateNetwork()
+	c.overlays[0].CreateNetwork()
 	for i := 1; i < n; i++ {
 		ok := false
-		overlays[i].Join(overlays[rng.Intn(i)].ID(), func(err error) {
+		c.overlays[i].Join(c.overlays[rng.Intn(i)].ID(), func(err error) {
 			if err != nil {
 				t.Fatalf("join %d: %v", i, err)
 			}
@@ -59,6 +61,34 @@ func buildCluster(t testing.TB, seed int64, n int, opts Options) *cluster {
 	}
 	w.RunFor(5 * time.Second)
 	return c
+}
+
+// addNode joins one extra node into an already-built cluster.
+func (c *cluster) addNode(t testing.TB, opts Options) *Store {
+	t.Helper()
+	id := ids.Random(c.rng)
+	node := c.world.NewNode(id, "r", netapi.Coord{X: c.rng.Float64() * 3000, Y: c.rng.Float64() * 3000})
+	ov := plaxton.New(node, c.reg, plaxton.Options{
+		HeartbeatInterval: time.Second,
+		ProbeTimeout:      300 * time.Millisecond,
+		LeafHalf:          4,
+	})
+	st := New(node, ov, opts)
+	ok := false
+	ov.Join(c.overlays[c.rng.Intn(len(c.overlays))].ID(), func(err error) {
+		if err != nil {
+			t.Fatalf("late join: %v", err)
+		}
+		ok = true
+	})
+	c.world.RunFor(2 * time.Second)
+	if !ok {
+		t.Fatalf("late join incomplete")
+	}
+	c.overlays = append(c.overlays, ov)
+	c.stores = append(c.stores, st)
+	c.byID[id] = st
+	return st
 }
 
 // copies counts primary/replica holders of guid across the cluster.

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"github.com/gloss/active/internal/wire"
+)
+
+// Compact binary wire forms for the storage plane. These are the hottest
+// body-carrying messages in the system — puts, replicas, cache fills and
+// chunk frames all move whole object payloads — so escaping the XML
+// fallback's base64 inflation matters more here than anywhere else.
+
+var (
+	_ wire.BinaryMessage = (*PutMsg)(nil)
+	_ wire.BinaryMessage = (*AckMsg)(nil)
+	_ wire.BinaryMessage = (*GetMsg)(nil)
+	_ wire.BinaryMessage = (*GetReplyMsg)(nil)
+	_ wire.BinaryMessage = (*ReplicateMsg)(nil)
+	_ wire.BinaryMessage = (*CacheFillMsg)(nil)
+	_ wire.BinaryMessage = (*PushMsg)(nil)
+	_ wire.BinaryMessage = (*PullMsg)(nil)
+	_ wire.BinaryMessage = (*ManifestMsg)(nil)
+	_ wire.BinaryMessage = (*ChunkMsg)(nil)
+	_ wire.BinaryMessage = (*DigestReqMsg)(nil)
+	_ wire.BinaryMessage = (*DigestMsg)(nil)
+	_ wire.BinaryMessage = (*StatMsg)(nil)
+	_ wire.BinaryMessage = (*StatReplyMsg)(nil)
+)
+
+// readBytesCopy reads a length-prefixed byte field and detaches it from
+// the frame: stored objects, replicas and cache fills all outlive the
+// buffer the BinReader aliases.
+func readBytesCopy(r *wire.BinReader) wire.Bytes {
+	raw := r.Bytes()
+	if raw == nil {
+		return nil
+	}
+	return append(wire.Bytes(nil), raw...)
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *PutMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.GUID)
+	b = wire.AppendUvarint(b, m.ReqID)
+	b = wire.AppendString(b, m.Origin)
+	b = wire.AppendVarint(b, int64(m.Size))
+	return wire.AppendBytes(b, m.Data)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *PutMsg) ParseWire(r *wire.BinReader) error {
+	m.GUID = r.String()
+	m.ReqID = r.Uvarint()
+	m.Origin = r.String()
+	m.Size = int(r.Varint())
+	m.Data = readBytesCopy(r)
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *AckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ReqID)
+	b = wire.AppendBool(b, m.OK)
+	return wire.AppendString(b, m.Err)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *AckMsg) ParseWire(r *wire.BinReader) error {
+	m.ReqID = r.Uvarint()
+	m.OK = r.Bool()
+	m.Err = r.String()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *GetMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.GUID)
+	return wire.AppendUvarint(b, m.ReqID)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *GetMsg) ParseWire(r *wire.BinReader) error {
+	m.GUID = r.String()
+	m.ReqID = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *GetReplyMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ReqID)
+	b = wire.AppendString(b, m.GUID)
+	b = wire.AppendBool(b, m.Found)
+	b = wire.AppendBool(b, m.FromCache)
+	b = wire.AppendVarint(b, int64(m.Hops))
+	return wire.AppendBytes(b, m.Data)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *GetReplyMsg) ParseWire(r *wire.BinReader) error {
+	m.ReqID = r.Uvarint()
+	m.GUID = r.String()
+	m.Found = r.Bool()
+	m.FromCache = r.Bool()
+	m.Hops = int(r.Varint())
+	m.Data = readBytesCopy(r)
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *ReplicateMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.GUID)
+	b = wire.AppendBool(b, m.Pin)
+	return wire.AppendBytes(b, m.Data)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *ReplicateMsg) ParseWire(r *wire.BinReader) error {
+	m.GUID = r.String()
+	m.Pin = r.Bool()
+	m.Data = readBytesCopy(r)
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *CacheFillMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.GUID)
+	return wire.AppendBytes(b, m.Data)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *CacheFillMsg) ParseWire(r *wire.BinReader) error {
+	m.GUID = r.String()
+	m.Data = readBytesCopy(r)
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *PushMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.GUID)
+	return wire.AppendString(b, m.Target)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *PushMsg) ParseWire(r *wire.BinReader) error {
+	m.GUID = r.String()
+	m.Target = r.String()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *PullMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.GUID)
+	return wire.AppendUvarint(b, m.ReqID)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *PullMsg) ParseWire(r *wire.BinReader) error {
+	m.GUID = r.String()
+	m.ReqID = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *ManifestMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Xfer)
+	b = wire.AppendString(b, m.GUID)
+	b = wire.AppendVarint(b, int64(m.Purpose))
+	b = wire.AppendVarint(b, int64(m.TotalLen))
+	b = wire.AppendVarint(b, int64(m.Chunk))
+	b = wire.AppendUvarint(b, m.Hash)
+	b = wire.AppendUvarint(b, m.ReqID)
+	b = wire.AppendVarint(b, int64(m.Hops))
+	b = wire.AppendBool(b, m.FromCache)
+	return wire.AppendBool(b, m.Pin)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *ManifestMsg) ParseWire(r *wire.BinReader) error {
+	m.Xfer = r.Uvarint()
+	m.GUID = r.String()
+	m.Purpose = int(r.Varint())
+	m.TotalLen = int(r.Varint())
+	m.Chunk = int(r.Varint())
+	m.Hash = r.Uvarint()
+	m.ReqID = r.Uvarint()
+	m.Hops = int(r.Varint())
+	m.FromCache = r.Bool()
+	m.Pin = r.Bool()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *ChunkMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Xfer)
+	b = wire.AppendVarint(b, int64(m.Off))
+	return wire.AppendBytes(b, m.Data)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *ChunkMsg) ParseWire(r *wire.BinReader) error {
+	m.Xfer = r.Uvarint()
+	m.Off = int(r.Varint())
+	// Copied, not aliased: the handler may drop the chunk (unknown
+	// transfer, duplicate) after the frame buffer is reused, and the XML
+	// path always yields detached bytes — the two decode paths must agree.
+	m.Data = readBytesCopy(r)
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *DigestReqMsg) AppendWire(b []byte) []byte { return wire.AppendUvarint(b, m.Round) }
+
+// ParseWire implements wire.BinaryMessage.
+func (m *DigestReqMsg) ParseWire(r *wire.BinReader) error {
+	m.Round = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *DigestMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Round)
+	b = wire.AppendUvarint(b, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = wire.AppendString(b, e.GUID)
+		b = wire.AppendVarint(b, int64(e.Len))
+		b = wire.AppendUvarint(b, e.Hash)
+	}
+	return b
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *DigestMsg) ParseWire(r *wire.BinReader) error {
+	m.Round = r.Uvarint()
+	n := r.Count()
+	var entries []DigestEntry
+	for i := 0; i < n && r.Err() == nil; i++ {
+		entries = append(entries, DigestEntry{
+			GUID: r.String(),
+			Len:  int(r.Varint()),
+			Hash: r.Uvarint(),
+		})
+	}
+	m.Entries = entries
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *StatMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.GUID)
+	return wire.AppendUvarint(b, m.ReqID)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *StatMsg) ParseWire(r *wire.BinReader) error {
+	m.GUID = r.String()
+	m.ReqID = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *StatReplyMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ReqID)
+	b = wire.AppendBool(b, m.Found)
+	return wire.AppendVarint(b, int64(m.Len))
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *StatReplyMsg) ParseWire(r *wire.BinReader) error {
+	m.ReqID = r.Uvarint()
+	m.Found = r.Bool()
+	m.Len = int(r.Varint())
+	return r.Err()
+}
