@@ -185,6 +185,17 @@ func BenchmarkE_T16_StoragePlane(b *testing.B) {
 	}
 }
 
+func BenchmarkE_T17_Knowledge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.T17Knowledge(true)
+		// Quick rows: 0 = legacy (never converges), 1 = causal 2-writer.
+		report(b, tab, 0, 6, "legacy-lost-facts") // acceptance: > 0 (the flaw)
+		report(b, tab, 1, 5, "causal-converge-ms")
+		report(b, tab, 1, 6, "causal-lost-facts") // acceptance: 0
+		report(b, tab, 1, 7, "causal-wire-kb")
+	}
+}
+
 // --- micro-benchmarks of hot paths ------------------------------------------
 
 // BenchmarkBrokerPublishWorld measures the full per-publish path through

@@ -23,6 +23,7 @@ import (
 	"github.com/gloss/active/internal/core"
 	"github.com/gloss/active/internal/gateway"
 	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/knowledge"
 	"github.com/gloss/active/internal/netapi"
 	"github.com/gloss/active/internal/nodecfg"
 	"github.com/gloss/active/internal/store"
@@ -54,6 +55,9 @@ func run() error {
 		legacyOB  = flag.Bool("legacy-outbox", false, "restore the fixed 256-frame outbox instead of the byte-budgeted queue (reference path)")
 		chunkB    = flag.Int("chunk-bytes", 0, "storage transfer chunk size; bodies above it stream as offset-addressed chunk frames (0 = 64 KiB default, negative disables chunking)")
 		legacyRep = flag.Bool("legacy-replication", false, "restore whole-object replica pushes instead of the chunked, digest-driven repair plane (reference path)")
+		writerID  = flag.String("writer-id", "", "knowledge-plane writer identity for version vectors (empty = this node's ID; must be unique per writer)")
+		kbGossip  = flag.Duration("kb-gossip", 0, "knowledge anti-entropy gossip period (0 disables; objects still converge via fetch read-repair)")
+		legacyKB  = flag.Bool("legacy-kb-sync", false, "restore last-writer-wins knowledge sync: bare XML bodies, blind overwrite/replace (reference path)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
@@ -61,14 +65,19 @@ func run() error {
 	// One nodecfg.Common carries the flags shared across the stack; the
 	// transport and the node config both embed it.
 	common := nodecfg.Common{
-		Codec:           *codec,
-		OutboxHighWater: *outboxHi,
-		OutboxLowWater:  *outboxLo,
-		Shards:          *shards,
-		FanoutWorkers:   *fanout,
+		Codec:            *codec,
+		OutboxHighWater:  *outboxHi,
+		OutboxLowWater:   *outboxLo,
+		Shards:           *shards,
+		FanoutWorkers:    *fanout,
+		KBWriter:         *writerID,
+		KBGossipInterval: *kbGossip,
 	}
 	if err := common.Validate(); err != nil {
 		return err
+	}
+	if *legacyKB && (*writerID != "" || *kbGossip > 0) {
+		return fmt.Errorf("-legacy-kb-sync is last-writer-wins: it has no version vectors or gossip; drop -writer-id/-kb-gossip")
 	}
 	// The legacy frame-cap outbox predates concurrent producers: it has no
 	// byte accounting, so shed decisions snapshotted by the fan-out pool
@@ -122,6 +131,7 @@ func run() error {
 			ChunkBytes:        *chunkB,
 			LegacyReplication: *legacyRep,
 		},
+		Knowledge: knowledge.Options{LegacySync: *legacyKB},
 	})
 	gateway.Serve(node)
 

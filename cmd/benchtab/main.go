@@ -53,6 +53,7 @@ func main() {
 		{"E-T14", exp.T14ShardedMatch},
 		{"E-T15", exp.T15ParallelFanout},
 		{"E-T16", exp.T16StoragePlane},
+		{"E-T17", exp.T17Knowledge},
 	}
 	ran := 0
 	for _, r := range runners {

@@ -13,7 +13,6 @@ import (
 	"time"
 
 	active "github.com/gloss/active"
-	"github.com/gloss/active/internal/knowledge"
 )
 
 func main() {
@@ -76,7 +75,7 @@ func main() {
 	// Anna's recommendation is also written into the P2P store from a
 	// European node — the globally distributed knowledge base.
 	eu := world.Node(world.NodesInRegion("eu")[0])
-	sy := knowledge.NewSyncer(eu.Store, eu.KB)
+	sy := eu.Sync
 	sy.PublishSubject("harbour-grill", func(err error) {
 		if err != nil {
 			panic(err)
@@ -88,7 +87,7 @@ func main() {
 	// An ap-region node fetches the subject twice: the first read crosses
 	// the planet, the second is served by the promiscuous cache.
 	ap := world.Node(world.NodesInRegion("ap")[0])
-	apSync := knowledge.NewSyncer(ap.Store, ap.KB)
+	apSync := ap.Sync
 	for attempt := 1; attempt <= 2; attempt++ {
 		start := world.Sim.Now()
 		done := false

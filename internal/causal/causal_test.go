@@ -1,0 +1,226 @@
+package causal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/gloss/active/internal/wire"
+)
+
+func TestCompareBasics(t *testing.T) {
+	a := Vec{}.Increment("a") // {a:1}
+	a2 := a.Increment("a")    // {a:2}
+	b := Vec{}.Increment("b") // {b:1}
+	ab := Merge(a2, b)        // {a:2 b:1}
+	cases := []struct {
+		x, y Vec
+		want Order
+	}{
+		{nil, nil, Equal},
+		{a, a.Clone(), Equal},
+		{a2, a, Descends},
+		{a, a2, Dominated},
+		{nil, a, Dominated},
+		{a, nil, Descends},
+		{a, b, Concurrent},
+		{ab, a2, Descends},
+		{ab, b, Descends},
+		{a2, ab, Dominated},
+	}
+	for i, c := range cases {
+		if got := Compare(c.x, c.y); got != c.want {
+			t.Errorf("case %d: Compare(%v, %v) = %v, want %v", i, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestIncrementDoesNotAlias(t *testing.T) {
+	a := Vec{}.Increment("w")
+	b := a.Increment("w")
+	if a.Counter("w") != 1 || b.Counter("w") != 2 {
+		t.Fatalf("increment aliased: a=%v b=%v", a, b)
+	}
+	if Compare(b, a) != Descends {
+		t.Fatalf("child must descend from parent")
+	}
+}
+
+func TestMergeDescendsFromBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	writers := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 200; trial++ {
+		var x, y Vec
+		for i := 0; i < 6; i++ {
+			x = x.Increment(writers[rng.Intn(len(writers))])
+			y = y.Increment(writers[rng.Intn(len(writers))])
+		}
+		m := Merge(x, y)
+		if o := Compare(m, x); o != Descends && o != Equal {
+			t.Fatalf("merge %v does not cover %v: %v", m, x, o)
+		}
+		if o := Compare(m, y); o != Descends && o != Equal {
+			t.Fatalf("merge %v does not cover %v: %v", m, y, o)
+		}
+		if Compare(Merge(x, y), Merge(y, x)) != Equal {
+			t.Fatalf("merge not commutative")
+		}
+	}
+}
+
+func TestWireRoundTripDeterministic(t *testing.T) {
+	v := Vec{"node-b": 3, "node-a": 1, "node-c": 7}
+	b1 := v.AppendWire(nil)
+	b2 := v.Clone().AppendWire(nil)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("serialisation not deterministic")
+	}
+	r := wire.NewBinReader(b1)
+	got := ParseVec(r)
+	if r.Err() != nil {
+		t.Fatalf("parse: %v", r.Err())
+	}
+	if Compare(got, v) != Equal {
+		t.Fatalf("round trip: got %v want %v", got, v)
+	}
+	if got.Key() != v.Key() {
+		t.Fatalf("keys differ after round trip")
+	}
+}
+
+func TestParseVecDropsZeros(t *testing.T) {
+	var b []byte
+	b = wire.AppendUvarint(b, 2)
+	b = wire.AppendString(b, "a")
+	b = wire.AppendUvarint(b, 0)
+	b = wire.AppendString(b, "b")
+	b = wire.AppendUvarint(b, 2)
+	got := ParseVec(wire.NewBinReader(b))
+	if len(got) != 1 || got.Counter("b") != 2 {
+		t.Fatalf("zero entry kept: %v", got)
+	}
+}
+
+func TestVersionedPutCollapsesSiblings(t *testing.T) {
+	var v Versioned[string]
+	v.Put("a", "one")
+	var w Versioned[string]
+	w.Put("b", "two")
+	if !v.Absorb(&w) {
+		t.Fatalf("absorb of concurrent write must change state")
+	}
+	if len(v.Sibs) != 2 {
+		t.Fatalf("want 2 siblings, got %d", len(v.Sibs))
+	}
+	v.Put("a", "resolved")
+	if len(v.Sibs) != 1 {
+		t.Fatalf("put must collapse siblings, got %d", len(v.Sibs))
+	}
+	// The resolved write dominates both originals.
+	for _, old := range []Vec{Vec{"a": 1}, Vec{"b": 1}} {
+		if Compare(v.Sibs[0].Vec, old) != Descends {
+			t.Fatalf("resolved vec %v does not dominate %v", v.Sibs[0].Vec, old)
+		}
+	}
+}
+
+func TestAbsorbIdempotentAndOrderFree(t *testing.T) {
+	mk := func(writer, val string) *Versioned[string] {
+		var v Versioned[string]
+		v.Put(writer, val)
+		return &v
+	}
+	a, b, c := mk("a", "A"), mk("b", "B"), mk("c", "C")
+
+	var x Versioned[string]
+	x.Absorb(a)
+	x.Absorb(b)
+	x.Absorb(c)
+	var y Versioned[string]
+	y.Absorb(c)
+	y.Absorb(a)
+	y.Absorb(b)
+	if len(x.Sibs) != 3 || len(y.Sibs) != 3 {
+		t.Fatalf("sibling counts: %d %d", len(x.Sibs), len(y.Sibs))
+	}
+	for i := range x.Sibs {
+		if x.Sibs[i].Vec.Key() != y.Sibs[i].Vec.Key() || x.Sibs[i].Value != y.Sibs[i].Value {
+			t.Fatalf("absorb order changed deterministic state")
+		}
+	}
+	if x.Absorb(a) || x.Absorb(&y) {
+		t.Fatalf("re-absorbing known history must be a no-op")
+	}
+}
+
+func TestAbsorbDropsDominated(t *testing.T) {
+	var old Versioned[string]
+	old.Put("a", "stale")
+	newer := &Versioned[string]{}
+	newer.Absorb(&old)
+	newer.Put("a", "fresh")
+
+	var v Versioned[string]
+	v.Absorb(newer)
+	if v.Absorb(&old) {
+		t.Fatalf("dominated history must not change state")
+	}
+	if len(v.Sibs) != 1 || v.Sibs[0].Value != "fresh" {
+		t.Fatalf("dominated sibling survived: %+v", v.Sibs)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	var v Versioned[string]
+	for _, w := range []string{"a", "b", "c", "d"} {
+		var o Versioned[string]
+		o.Put(w, w)
+		v.Absorb(&o)
+	}
+	if v.Compact(4, nil) {
+		t.Fatalf("compact under cap must be a no-op")
+	}
+	joined := func(vals []string) string {
+		out := ""
+		for _, s := range vals {
+			out += s
+		}
+		return out
+	}
+	if !v.Compact(2, joined) {
+		t.Fatalf("compact over cap must fire")
+	}
+	if len(v.Sibs) != 1 {
+		t.Fatalf("compact left %d siblings", len(v.Sibs))
+	}
+	if len(v.Sibs[0].Value) != 4 {
+		t.Fatalf("merge did not see all sibling values: %q", v.Sibs[0].Value)
+	}
+	for _, w := range []string{"a", "b", "c", "d"} {
+		if v.Sibs[0].Vec.Counter(w) != 1 {
+			t.Fatalf("compacted vec lost writer %s: %v", w, v.Sibs[0].Vec)
+		}
+	}
+}
+
+func FuzzParseVec(f *testing.F) {
+	f.Add(Vec{"a": 1, "b": 2}.AppendWire(nil))
+	f.Add(Vec(nil).AppendWire(nil))
+	f.Add([]byte{0x02, 0x01, 'a'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewBinReader(data)
+		v := ParseVec(r)
+		if r.Err() != nil {
+			return
+		}
+		// Accepted vectors must re-serialise stably.
+		b1 := v.AppendWire(nil)
+		v2 := ParseVec(wire.NewBinReader(b1))
+		if Compare(v, v2) != Equal {
+			t.Fatalf("unstable round trip: %v vs %v", v, v2)
+		}
+		if !bytes.Equal(b1, v2.AppendWire(nil)) {
+			t.Fatalf("unstable bytes")
+		}
+	})
+}

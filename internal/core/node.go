@@ -48,6 +48,10 @@ type NodeConfig struct {
 	Overlay plaxton.Options
 	Store   store.Options
 	Broker  pubsub.Options
+	// Knowledge tunes the causal knowledge syncer. Common.KBWriter,
+	// Common.KBGossipInterval and Common.KBSiblingCap fill the
+	// corresponding options when they are unset here.
+	Knowledge knowledge.Options
 	// AdvertInterval is the resource-advertisement period. Default 2s;
 	// negative disables advertising.
 	AdvertInterval time.Duration
@@ -79,6 +83,7 @@ type ActiveNode struct {
 	Discovery  *match.Discovery
 	KB         *knowledge.KB
 	GIS        *knowledge.GIS
+	Sync       *knowledge.Syncer
 	Advertiser *evolve.Advertiser
 	Gauges     *gauges.Registry
 	Programs   *bundle.Registry
@@ -88,6 +93,7 @@ type ActiveNode struct {
 func RegisterMessages(reg *wire.Registry) {
 	plaxton.RegisterMessages(reg)
 	store.RegisterMessages(reg)
+	knowledge.RegisterMessages(reg)
 	pubsub.RegisterMessages(reg)
 	bundle.RegisterMessages(reg)
 	pipeline.RegisterMessages(reg)
@@ -113,6 +119,16 @@ func NewActiveNode(ep netapi.Endpoint, reg *wire.Registry, cfg NodeConfig) *Acti
 	}
 	n.Overlay = plaxton.New(ep, reg, cfg.Overlay)
 	n.Store = store.New(ep, n.Overlay, cfg.Store)
+	if cfg.Knowledge.Writer == "" {
+		cfg.Knowledge.Writer = cfg.KBWriter
+	}
+	if cfg.Knowledge.GossipInterval == 0 {
+		cfg.Knowledge.GossipInterval = cfg.KBGossipInterval
+	}
+	if cfg.Knowledge.SiblingCap == 0 {
+		cfg.Knowledge.SiblingCap = cfg.KBSiblingCap
+	}
+	n.Sync = knowledge.NewSyncerOpts(n.Store, n.KB, cfg.Knowledge)
 	n.Broker = pubsub.NewBroker(ep, cfg.Broker)
 	n.Client = pubsub.NewClient(ep, ep.ID())
 	n.Programs = bundle.NewRegistry()

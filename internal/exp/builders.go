@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/knowledge"
 	"github.com/gloss/active/internal/netapi"
 	"github.com/gloss/active/internal/plaxton"
 	"github.com/gloss/active/internal/simnet"
@@ -42,6 +43,7 @@ func buildCluster(cfg clusterCfg) *overlayCluster {
 	reg := wire.NewRegistry()
 	plaxton.RegisterMessages(reg)
 	store.RegisterMessages(reg)
+	knowledge.RegisterMessages(reg)
 	reg.Register(&probeMsg{})
 	switch cfg.codec {
 	case "bin":

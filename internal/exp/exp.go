@@ -136,5 +136,6 @@ func All(quick bool) []*Table {
 		T14ShardedMatch(quick),
 		T15ParallelFanout(quick),
 		T16StoragePlane(quick),
+		T17Knowledge(quick),
 	}
 }

@@ -1,0 +1,32 @@
+package exp
+
+import "testing"
+
+// TestT17KnowledgeQuick smoke-runs the table in quick mode: the causal
+// rows must fully converge with zero lost writes, the legacy row must
+// demonstrate the lost-write flaw it documents.
+func TestT17KnowledgeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table run")
+	}
+	tab := T17Knowledge(true)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		mode, converged, lost := row[2], row[4], row[6]
+		switch mode {
+		case "legacy":
+			if lost == "0" {
+				t.Errorf("legacy row lost no writes: %v", row)
+			}
+		case "causal":
+			if lost != "0" {
+				t.Errorf("causal row lost writes: %v", row)
+			}
+			if converged[0] == '0' || row[5] == "never" {
+				t.Errorf("causal row failed to converge: %v", row)
+			}
+		}
+	}
+}

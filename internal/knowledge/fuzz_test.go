@@ -1,0 +1,123 @@
+package knowledge
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/causal"
+)
+
+func seedFacts() []Fact {
+	return []Fact{
+		{S: "bob", P: "likes", O: "ice cream"},
+		{S: "bob", P: "on-holiday", O: "true", From: 20 * 24 * time.Hour, To: 27 * 24 * time.Hour},
+	}
+}
+
+func FuzzUnmarshalFacts(f *testing.F) {
+	data, _ := MarshalFacts(seedFacts())
+	f.Add(data)
+	f.Add([]byte("<facts><fact s=\"a\" p=\"b\" o=\"c\"/></facts>"))
+	f.Add([]byte("<facts>"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		facts, err := UnmarshalFacts(data)
+		if err != nil {
+			return
+		}
+		// Accepted documents must round-trip stably.
+		enc, err := MarshalFacts(facts)
+		if err != nil {
+			t.Fatalf("re-marshal accepted facts: %v", err)
+		}
+		again, err := UnmarshalFacts(enc)
+		if err != nil {
+			t.Fatalf("re-parse own output: %v", err)
+		}
+		if len(again) != len(facts) {
+			t.Fatalf("unstable round trip: %d vs %d facts", len(again), len(facts))
+		}
+	})
+}
+
+func FuzzUnmarshalGIS(f *testing.F) {
+	g := NewGIS()
+	_ = g.AddPlace(Place{Name: "janettas", Region: "st-andrews", X: 0.8, Y: 0.3,
+		Hours: Span{Open: 9 * time.Hour, Close: 17 * time.Hour},
+		Sells: []string{"ice cream"}, Tags: []string{"cafe"}})
+	data, _ := g.MarshalGIS()
+	f.Add(data)
+	f.Add([]byte("<gis><place name=\"x\" region=\"r\" x=\"1\" y=\"2\"/></gis>"))
+	f.Add([]byte("<gis><place name=\"x\"/><place name=\"x\"/></gis>"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalGIS(data)
+		if err != nil {
+			return
+		}
+		enc, err := g.MarshalGIS()
+		if err != nil {
+			t.Fatalf("re-marshal accepted gis: %v", err)
+		}
+		again, err := UnmarshalGIS(enc)
+		if err != nil {
+			t.Fatalf("re-parse own output: %v", err)
+		}
+		if again.Len() != g.Len() {
+			t.Fatalf("unstable round trip: %d vs %d places", again.Len(), g.Len())
+		}
+	})
+}
+
+func FuzzDecodeVersionedFacts(f *testing.F) {
+	var v causal.Versioned[[]Fact]
+	v.Put("writer-a", seedFacts())
+	var w causal.Versioned[[]Fact]
+	w.Put("writer-b", []Fact{{S: "bob", P: "nationality", O: "scottish"}})
+	v.Absorb(&w)
+	enc := EncodeVersionedFacts(&v)
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	xmlBody, _ := MarshalFacts(seedFacts())
+	f.Add(xmlBody)
+	f.Add([]byte{'K', 'F', 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeVersionedFacts(data)
+		if err != nil {
+			return
+		}
+		// Accepted envelopes must re-encode/re-decode to the same state.
+		enc := EncodeVersionedFacts(v)
+		again, err := DecodeVersionedFacts(enc)
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v", err)
+		}
+		if !reflect.DeepEqual(v, again) {
+			t.Fatalf("unstable round trip:\n%+v\n%+v", v, again)
+		}
+	})
+}
+
+func FuzzDecodeVersionedGIS(f *testing.F) {
+	var v causal.Versioned[[]Place]
+	v.Put("writer-a", []Place{{Name: "janettas", Region: "st-andrews", X: 0.8, Y: 0.3,
+		Sells: []string{"ice cream"}}})
+	enc := EncodeVersionedGIS(&v)
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add([]byte("<gis></gis>"))
+	f.Add([]byte{'K', 'G', 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeVersionedGIS(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeVersionedGIS(v)
+		again, err := DecodeVersionedGIS(enc)
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v", err)
+		}
+		if !reflect.DeepEqual(v, again) {
+			t.Fatalf("unstable round trip:\n%+v\n%+v", v, again)
+		}
+	})
+}

@@ -43,6 +43,9 @@ func (f Fact) ValidAt(t time.Duration) bool {
 type KB struct {
 	bySubject map[string][]*Fact
 	count     int
+	// subjects caches the sorted subject list for wildcard-subject
+	// queries; nil means stale (rebuilt lazily on the next such query).
+	subjects []string
 }
 
 // NewKB returns an empty knowledge base.
@@ -53,6 +56,9 @@ func NewKB() *KB {
 // Add inserts a fact (duplicates are kept; they are harmless for Ask).
 func (kb *KB) Add(f Fact) {
 	c := f
+	if _, known := kb.bySubject[f.S]; !known {
+		kb.subjects = nil
+	}
 	kb.bySubject[f.S] = append(kb.bySubject[f.S], &c)
 	kb.count++
 }
@@ -70,13 +76,10 @@ func (kb *KB) Query(s, p, o string, t time.Duration) []Fact {
 	if s != "" {
 		pool = kb.bySubject[s]
 	} else {
-		// Wildcard subject: scan in deterministic subject order.
-		subjects := make([]string, 0, len(kb.bySubject))
-		for subj := range kb.bySubject {
-			subjects = append(subjects, subj)
-		}
-		sort.Strings(subjects)
-		for _, subj := range subjects {
+		// Wildcard subject: scan in deterministic subject order via the
+		// cached sorted slice (invalidated whenever the subject set
+		// changes) instead of rebuilding and re-sorting it every call.
+		for _, subj := range kb.sortedSubjects() {
 			pool = append(pool, kb.bySubject[subj]...)
 		}
 	}
@@ -124,12 +127,30 @@ func (kb *KB) Remove(s, p, o string) int {
 	}
 	if len(kept) == 0 {
 		delete(kb.bySubject, s)
+		kb.subjects = nil
 	} else {
 		kb.bySubject[s] = kept
 	}
 	kb.count -= removed
 	return removed
 }
+
+// sortedSubjects returns the cached sorted subject list, rebuilding it
+// only after the subject set has changed.
+func (kb *KB) sortedSubjects() []string {
+	if kb.subjects == nil && len(kb.bySubject) > 0 {
+		kb.subjects = make([]string, 0, len(kb.bySubject))
+		for subj := range kb.bySubject {
+			kb.subjects = append(kb.subjects, subj)
+		}
+		sort.Strings(kb.subjects)
+	}
+	return kb.subjects
+}
+
+// Subjects returns all subjects in sorted order. The returned slice is
+// shared with the cache — callers must not mutate it.
+func (kb *KB) Subjects() []string { return kb.sortedSubjects() }
 
 // SubjectFacts returns all facts about one subject.
 func (kb *KB) SubjectFacts(s string) []Fact {
@@ -145,6 +166,7 @@ func (kb *KB) SubjectFacts(s string) []Fact {
 func (kb *KB) MergeSubject(s string, facts []Fact) {
 	kb.count -= len(kb.bySubject[s])
 	delete(kb.bySubject, s)
+	kb.subjects = nil
 	for _, f := range facts {
 		if f.S == s {
 			kb.Add(f)
@@ -327,6 +349,16 @@ func (g *GIS) NearestTagged(c netapi.Coord, tag string, maxKm float64) *Place {
 		}
 	}
 	return nil
+}
+
+// Places returns the indexed places in insertion order, copied out so
+// callers can serialise or merge them without aliasing the index.
+func (g *GIS) Places() []Place {
+	out := make([]Place, 0, len(g.order))
+	for _, name := range g.order {
+		out = append(out, *g.places[name])
+	}
+	return out
 }
 
 // gisDoc is the XML document form of the GIS layer.

@@ -1,0 +1,109 @@
+package knowledge
+
+import (
+	"github.com/gloss/active/internal/wire"
+)
+
+// Gossip anti-entropy messages. Brokers periodically exchange per-object
+// digests (name + version vector); a receiver pushes back only objects
+// whose local version is causally newer than — or concurrent with — the
+// digest entry, so settled objects cost one small digest line per round
+// and never move their bodies.
+
+// DigestEntry summarises one knowledge object: its name (subject or GIS
+// region), which namespace it lives in, and the serialised summary
+// vector of the local sibling set (causal.Vec.AppendWire form).
+type DigestEntry struct {
+	Name string     `xml:"name,attr"`
+	GIS  bool       `xml:"gis,attr,omitempty"`
+	Vec  wire.Bytes `xml:"vec"`
+}
+
+// GossipMsg carries a node's full knowledge digest. Reply marks the
+// second leg of a round (the partner's answering digest) so exchanges
+// terminate after one round trip.
+type GossipMsg struct {
+	Reply   bool          `xml:"reply,attr,omitempty"`
+	Entries []DigestEntry `xml:"entry"`
+}
+
+// Kind implements wire.Message.
+func (GossipMsg) Kind() string { return "kb.digest" }
+
+// GossipPushMsg pushes one versioned knowledge object (the full binary
+// envelope, siblings and all) to a gossip partner whose digest showed it
+// stale or concurrent.
+type GossipPushMsg struct {
+	Name string     `xml:"name,attr"`
+	GIS  bool       `xml:"gis,attr,omitempty"`
+	Data wire.Bytes `xml:"data"`
+}
+
+// Kind implements wire.Message.
+func (GossipPushMsg) Kind() string { return "kb.push" }
+
+// RegisterMessages registers the knowledge gossip kinds.
+func RegisterMessages(r *wire.Registry) {
+	r.Register(&GossipMsg{})
+	r.Register(&GossipPushMsg{})
+}
+
+var (
+	_ wire.BinaryMessage = (*GossipMsg)(nil)
+	_ wire.BinaryMessage = (*GossipPushMsg)(nil)
+)
+
+// readBytesCopy detaches a length-prefixed byte field from the frame
+// buffer the BinReader aliases — digests and pushed envelopes are kept
+// past the handler callback.
+func readBytesCopy(r *wire.BinReader) wire.Bytes {
+	raw := r.Bytes()
+	if raw == nil {
+		return nil
+	}
+	return append(wire.Bytes(nil), raw...)
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *GossipMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendBool(b, m.Reply)
+	b = wire.AppendUvarint(b, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = wire.AppendString(b, e.Name)
+		b = wire.AppendBool(b, e.GIS)
+		b = wire.AppendBytes(b, e.Vec)
+	}
+	return b
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *GossipMsg) ParseWire(r *wire.BinReader) error {
+	m.Reply = r.Bool()
+	n := r.Count()
+	m.Entries = nil
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var e DigestEntry
+		e.Name = r.String()
+		e.GIS = r.Bool()
+		e.Vec = readBytesCopy(r)
+		if r.Err() == nil {
+			m.Entries = append(m.Entries, e)
+		}
+	}
+	return r.Err()
+}
+
+// AppendWire implements wire.BinaryMessage.
+func (m *GossipPushMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.Name)
+	b = wire.AppendBool(b, m.GIS)
+	return wire.AppendBytes(b, m.Data)
+}
+
+// ParseWire implements wire.BinaryMessage.
+func (m *GossipPushMsg) ParseWire(r *wire.BinReader) error {
+	m.Name = r.String()
+	m.GIS = r.Bool()
+	m.Data = readBytesCopy(r)
+	return r.Err()
+}

@@ -20,6 +20,7 @@ func buildStores(t *testing.T, n int) (*simnet.World, []*store.Store) {
 	reg := wire.NewRegistry()
 	plaxton.RegisterMessages(reg)
 	store.RegisterMessages(reg)
+	RegisterMessages(reg)
 	rng := rand.New(rand.NewSource(5))
 	var overlays []*plaxton.Overlay
 	var stores []*store.Store
@@ -69,8 +70,8 @@ func TestSyncerSubjectRoundTrip(t *testing.T) {
 	if !kb7.Ask("bob", "on-holiday", "true", 25*24*time.Hour) {
 		t.Fatalf("validity lost in sync")
 	}
-	if sy7.Fetches != 1 || sy0.Publishes != 1 {
-		t.Fatalf("counters: fetches=%d publishes=%d", sy7.Fetches, sy0.Publishes)
+	if st7, st0 := sy7.Stats(), sy0.Stats(); st7.Fetches != 1 || st0.Publishes != 1 {
+		t.Fatalf("counters: fetches=%d publishes=%d", st7.Fetches, st0.Publishes)
 	}
 }
 

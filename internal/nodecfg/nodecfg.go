@@ -13,6 +13,7 @@ package nodecfg
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/gloss/active/internal/ids"
 )
@@ -55,6 +56,18 @@ type Common struct {
 	// sends (the TCP transport); over simnet the broker stays serial
 	// regardless, preserving simulation determinism.
 	FanoutWorkers int
+	// KBWriter is the node's writer identity in knowledge-plane version
+	// vectors (knowledge.Options.Writer). Empty defaults to the node's
+	// endpoint ID; it must be unique per writer node.
+	KBWriter string
+	// KBGossipInterval is the knowledge anti-entropy period
+	// (knowledge.Options.GossipInterval). Zero disables gossip; objects
+	// then converge only through fetch read-repair.
+	KBGossipInterval time.Duration
+	// KBSiblingCap bounds concurrent sibling histories per knowledge
+	// object before they are force-merged (knowledge.Options.SiblingCap).
+	// Zero selects the subsystem default (8).
+	KBSiblingCap int
 }
 
 // Merge fills c's zero fields from o and returns the result: the
@@ -79,6 +92,15 @@ func (c Common) Merge(o Common) Common {
 	if c.FanoutWorkers == 0 {
 		c.FanoutWorkers = o.FanoutWorkers
 	}
+	if c.KBWriter == "" {
+		c.KBWriter = o.KBWriter
+	}
+	if c.KBGossipInterval == 0 {
+		c.KBGossipInterval = o.KBGossipInterval
+	}
+	if c.KBSiblingCap == 0 {
+		c.KBSiblingCap = o.KBSiblingCap
+	}
 	return c
 }
 
@@ -97,6 +119,9 @@ func (c Common) Validate() error {
 	}
 	if c.FanoutWorkers < 0 {
 		return fmt.Errorf("nodecfg: negative FanoutWorkers %d", c.FanoutWorkers)
+	}
+	if c.KBSiblingCap < 0 {
+		return fmt.Errorf("nodecfg: negative KBSiblingCap %d", c.KBSiblingCap)
 	}
 	return nil
 }

@@ -2,13 +2,15 @@ package nodecfg
 
 import (
 	"testing"
+	"time"
 
 	"github.com/gloss/active/internal/ids"
 )
 
 func TestMergeOuterWins(t *testing.T) {
-	outer := Common{Codec: "xml", OutboxHighWater: 100}
-	inner := Common{Codec: "binary", OutboxHighWater: 999, OutboxLowWater: 40, Shards: 4, FanoutWorkers: 6}
+	outer := Common{Codec: "xml", OutboxHighWater: 100, KBWriter: "w-outer"}
+	inner := Common{Codec: "binary", OutboxHighWater: 999, OutboxLowWater: 40, Shards: 4, FanoutWorkers: 6,
+		KBWriter: "w-inner", KBGossipInterval: 3 * time.Second, KBSiblingCap: 5}
 	got := outer.Merge(inner)
 	if got.Codec != "xml" {
 		t.Fatalf("Codec = %q, want outer %q", got.Codec, "xml")
@@ -24,6 +26,15 @@ func TestMergeOuterWins(t *testing.T) {
 	}
 	if got.FanoutWorkers != 6 {
 		t.Fatalf("FanoutWorkers = %d, want filled 6", got.FanoutWorkers)
+	}
+	if got.KBWriter != "w-outer" {
+		t.Fatalf("KBWriter = %q, want outer %q", got.KBWriter, "w-outer")
+	}
+	if got.KBGossipInterval != 3*time.Second {
+		t.Fatalf("KBGossipInterval = %v, want filled 3s", got.KBGossipInterval)
+	}
+	if got.KBSiblingCap != 5 {
+		t.Fatalf("KBSiblingCap = %d, want filled 5", got.KBSiblingCap)
 	}
 }
 
@@ -50,6 +61,7 @@ func TestValidate(t *testing.T) {
 		{OutboxHighWater: 1, OutboxLowWater: 2},
 		{Shards: -1},
 		{FanoutWorkers: -2},
+		{KBSiblingCap: -1},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Fatalf("Validate(%+v) = nil, want error", bad)

@@ -237,6 +237,14 @@ func New(ep netapi.Endpoint, overlay *plaxton.Overlay, opts Options) *Store {
 // GUIDFor returns the content-hash GUID an object will be stored under.
 func GUIDFor(content []byte) ids.ID { return ids.FromBytes(content) }
 
+// Endpoint returns the endpoint the store is bound to, for subsystems
+// (e.g. the knowledge syncer's gossip) that share its node identity,
+// clock and message plane.
+func (s *Store) Endpoint() netapi.Endpoint { return s.ep }
+
+// Overlay returns the routing overlay the store is built on.
+func (s *Store) Overlay() *plaxton.Overlay { return s.overlay }
+
 // Stats returns a snapshot of counters and occupancy. O(1): stored
 // occupancy is maintained incrementally on store/overwrite/evict rather
 // than recomputed by iterating every object.
