@@ -1,0 +1,28 @@
+# Developer entry points. CI runs the same commands; see
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet runs the stock analyzers, then builds the repo's own analysis
+# suite (cmd/vetactive) and runs it over every package through the
+# go vet vettool protocol. Both must be clean.
+vet:
+	$(GO) vet ./...
+	$(GO) build -o bin/vetactive ./cmd/vetactive
+	$(GO) vet -vettool=$(CURDIR)/bin/vetactive ./...
+
+fmt:
+	gofmt -l -w .

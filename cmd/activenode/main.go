@@ -70,26 +70,23 @@ func run() error {
 		OutboxLowWater:   *outboxLo,
 		Shards:           *shards,
 		FanoutWorkers:    *fanout,
+		LegacyOutbox:     *legacyOB,
 		KBWriter:         *writerID,
 		KBGossipInterval: *kbGossip,
 	}
+	if *legacyOB && *fanout == 0 {
+		// Unset fan-out would resolve to a parallel default, which
+		// Validate rejects over the legacy outbox; pin the legacy path
+		// to the serial reference instead of erroring.
+		common.FanoutWorkers = 1
+	}
+	// Validate covers the cross-field conflicts too (legacy outbox vs
+	// parallel fan-out, inverted watermarks).
 	if err := common.Validate(); err != nil {
 		return err
 	}
 	if *legacyKB && (*writerID != "" || *kbGossip > 0) {
 		return fmt.Errorf("-legacy-kb-sync is last-writer-wins: it has no version vectors or gossip; drop -writer-id/-kb-gossip")
-	}
-	// The legacy frame-cap outbox predates concurrent producers: it has no
-	// byte accounting, so shed decisions snapshotted by the fan-out pool
-	// would be meaningless. Parallel fan-out over it is an untested
-	// combination — reject it rather than document a maybe.
-	if *legacyOB && *fanout > 1 {
-		return fmt.Errorf("-fanout-workers %d requires the byte-budgeted outbox; drop -legacy-outbox or use -fanout-workers 1", *fanout)
-	}
-	if *legacyOB && *fanout == 0 {
-		// Unset fan-out would resolve to a parallel default; pin the
-		// legacy path to the serial reference instead of erroring.
-		common.FanoutWorkers = 1
 	}
 
 	logger := slog.New(slog.DiscardHandler)
@@ -110,13 +107,12 @@ func run() error {
 	gateway.RegisterMessages(reg)
 
 	ep, err := transport.Listen(id, reg, transport.Options{
-		Common:       common,
-		Listen:       *listen,
-		Region:       *region,
-		Coord:        netapi.Coord{X: *x, Y: *y},
-		Seed:         time.Now().UnixNano(),
-		Logger:       logger,
-		LegacyOutbox: *legacyOB,
+		Common: common,
+		Listen: *listen,
+		Region: *region,
+		Coord:  netapi.Coord{X: *x, Y: *y},
+		Seed:   time.Now().UnixNano(),
+		Logger: logger,
 	})
 	if err != nil {
 		return err

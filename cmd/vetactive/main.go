@@ -1,0 +1,41 @@
+// Command vetactive is the repo's custom static-analysis suite. It
+// machine-checks the concurrency and determinism invariants the
+// middleware relies on but the compiler cannot see: simulation
+// determinism (detsim), actor-loop confinement (actoronly), frozen
+// event immutability (frozenmut), racy stats snapshots (atomicstats),
+// and wire-registry completeness (wirecomplete).
+//
+// It speaks the go vet vettool protocol, so CI runs it as
+//
+//	go vet -vettool=$(pwd)/bin/vetactive ./...
+//
+// and it also runs standalone over package patterns:
+//
+//	./bin/vetactive ./...
+//
+// Suppress a deliberate exception with
+//
+//	//vetactive:ignore <analyzer> <reason>
+//
+// on (or directly above) the offending line; the reason is mandatory.
+package main
+
+import (
+	"github.com/gloss/active/internal/analysis"
+	"github.com/gloss/active/internal/analysis/actoronly"
+	"github.com/gloss/active/internal/analysis/atomicstats"
+	"github.com/gloss/active/internal/analysis/detsim"
+	"github.com/gloss/active/internal/analysis/driver"
+	"github.com/gloss/active/internal/analysis/frozenmut"
+	"github.com/gloss/active/internal/analysis/wirecomplete"
+)
+
+func main() {
+	driver.Main([]*analysis.Analyzer{
+		detsim.Analyzer,
+		actoronly.Analyzer,
+		frozenmut.Analyzer,
+		atomicstats.Analyzer,
+		wirecomplete.Analyzer,
+	})
+}

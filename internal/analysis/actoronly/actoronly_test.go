@@ -1,0 +1,11 @@
+package actoronly
+
+import (
+	"testing"
+
+	"github.com/gloss/active/internal/analysis/analysistest"
+)
+
+func TestActoronly(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "actorbad", "actorgood")
+}

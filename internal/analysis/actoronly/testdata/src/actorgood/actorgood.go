@@ -1,0 +1,58 @@
+package actorgood
+
+type endpoint struct{}
+
+func (endpoint) Handle(kind string, h func()) {}
+func (endpoint) After(d int, fn func())       {}
+func (endpoint) Do(fn func())                 {}
+func (endpoint) OnDrain(fn func())            {}
+
+type broker struct {
+	ep      endpoint
+	entries map[string]int
+}
+
+// addEntry mutates the subscription table.
+//
+//vetactive:actoronly
+func (b *broker) addEntry(key string) { b.entries[key]++ }
+
+// handleSub is an endpoint handler: it runs on the actor loop.
+//
+//vetactive:actorloop
+func (b *broker) handleSub() {
+	b.addEntry("k")
+}
+
+// subscribe is itself actor-only, so the chain is allowed.
+//
+//vetactive:actoronly
+func (b *broker) subscribe(key string) {
+	b.addEntry(key)
+}
+
+// wire registers actor-rooted callbacks: Handle, timers, the actor
+// hop and drain callbacks all execute on the actor loop.
+func (b *broker) wire() {
+	b.ep.Handle("sub", func() { b.addEntry("k") })
+	b.ep.After(10, func() { b.subscribe("k") })
+	b.ep.Do(func() { b.addEntry("k") })
+	b.ep.OnDrain(func() { b.addEntry("k") })
+}
+
+// deliver passes a callback to an actor-only function, which invokes
+// it inline on the actor.
+//
+//vetactive:actoronly
+func (b *broker) deliver(fn func()) { fn() }
+
+//vetactive:actorloop
+func (b *broker) tick() {
+	b.deliver(func() { b.addEntry("k") })
+}
+
+// harness is a deliberate, annotated exception.
+func (b *broker) harness() {
+	//vetactive:ignore actoronly single-goroutine bench harness is the actor
+	b.addEntry("k")
+}

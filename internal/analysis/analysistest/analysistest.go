@@ -1,0 +1,219 @@
+// Package analysistest runs an analyzer over fixture packages laid out
+// GOPATH-style under a testdata directory and checks its diagnostics
+// against `// want` expectations — a dependency-free miniature of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture package lives at testdata/src/<path>/ and may import other
+// fixture packages by that <path> (resolved under testdata/src) or
+// anything from the standard library (resolved from GOROOT source).
+// Expectations are comments of the form
+//
+//	ch <- k // want `map-iteration`
+//	x.Set("a", 1) // want "frozen" "second pattern"
+//
+// where each quoted or backquoted string is a regular expression that
+// must match a diagnostic reported on that line; diagnostics with no
+// matching expectation, and expectations with no matching diagnostic,
+// fail the test. //vetactive:ignore suppression is active, exactly as
+// under the real driver, so fixtures can pin annotation behaviour.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/gloss/active/internal/analysis"
+)
+
+// Run applies the analyzer to each fixture package and reports
+// expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		fset:  fset,
+		root:  filepath.Join(testdata, "src"),
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*loadResult),
+	}
+	for _, pkg := range pkgs {
+		runPkg(t, ld, a, pkg)
+	}
+}
+
+// fixtureLoader resolves imports for fixture packages: testdata/src
+// first, then the standard library from source.
+type fixtureLoader struct {
+	fset  *token.FileSet
+	root  string
+	std   types.Importer
+	cache map[string]*loadResult
+}
+
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir := filepath.Join(ld.root, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		if r, ok := ld.cache[path]; ok {
+			return r.pkg, r.err
+		}
+		files, err := ld.parseDir(dir)
+		var pkg *types.Package
+		if err == nil {
+			conf := &types.Config{Importer: ld}
+			pkg, err = conf.Check(path, ld.fset, files, nil)
+		}
+		ld.cache[path] = &loadResult{pkg: pkg, err: err}
+		return pkg, err
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *fixtureLoader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+type loadResult struct {
+	pkg *types.Package
+	err error
+}
+
+// expectation is one want-pattern anchored to a file:line.
+type expectation struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func runPkg(t *testing.T, ld *fixtureLoader, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(ld.root, pkgPath)
+	files, err := ld.parseDir(dir)
+	if err != nil {
+		t.Errorf("%s: %v", pkgPath, err)
+		return
+	}
+	includesTests := false
+	for _, f := range files {
+		name := ld.fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			includesTests = true
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := &types.Config{Importer: ld}
+	pkg, err := conf.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		t.Errorf("typecheck %s: %v", pkgPath, err)
+		return
+	}
+
+	// Collect the expectations from want comments.
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := ld.fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{pos: pos, re: re})
+				}
+			}
+		}
+	}
+
+	// Run the analyzer under the same suppression filter as the driver.
+	ignores := analysis.NewIgnoreIndex(ld.fset, files)
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:      a,
+		Fset:          ld.fset,
+		Files:         files,
+		Pkg:           pkg,
+		TypesInfo:     info,
+		IncludesTests: includesTests,
+		Report: func(d analysis.Diagnostic) {
+			if !ignores.Ignored(d.Pos, a.Name) {
+				diags = append(diags, d)
+			}
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Errorf("analyzer %s on %s: %v", a.Name, pkgPath, err)
+		return
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	// Match diagnostics against expectations by file and line.
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.pos.Filename == pos.Filename && w.pos.Line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package atomicstats enforces the stats-snapshot rule the knowledge
+// syncer retrofitted after its counters raced: a struct field read by
+// a Stats() (or Metrics()) snapshot method and written elsewhere in
+// the package must be safe to read concurrently — an atomic.* value, a
+// struct composed entirely of atomics (the transport's counter block),
+// or guarded by a mutex the snapshot method itself locks.
+//
+// Confinement the analyzer cannot see (the broker's actor-loop-only
+// Stats, the simulator's quiescent-world Metrics) is declared, not
+// guessed: annotate the snapshot method with
+//
+//	//vetactive:ignore atomicstats <why the struct is confined>
+//
+// which skips the method and documents the contract at its
+// declaration.
+//
+// Heuristics, stated openly: reads are field selections rooted at the
+// receiver inside the snapshot method (including len() of map/slice
+// fields and whole-struct copies); writes are assignments, inc/dec and
+// indexed stores to the same field anywhere else in the package,
+// excluding constructors (functions named New*/new*) — initialization
+// before publication is not a race.
+package atomicstats
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/gloss/active/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicstats",
+	Doc:  "fields read by Stats()/Metrics() snapshots and written elsewhere must be atomic or mutex-guarded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if fd.Name.Name != "Stats" && fd.Name.Name != "Metrics" {
+				continue
+			}
+			if analysis.FuncAnnotated(fd, "ignore atomicstats") {
+				// Declared confinement: the snapshot is documented as
+				// single-goroutine. (FuncAnnotated matches the directive
+				// prefix "ignore atomicstats ...".)
+				continue
+			}
+			checkSnapshot(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkSnapshot(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recvType := analysis.ReceiverType(pass.TypesInfo, fd)
+	if recvType == nil {
+		return
+	}
+	if _, ok := recvType.Underlying().(*types.Struct); !ok {
+		return
+	}
+	recvObj := receiverObj(pass, fd)
+	if recvObj == nil {
+		return
+	}
+	// A snapshot method that locks a mutex is the sanctioned
+	// mutex-guarded shape; writers are then assumed to take the same
+	// lock (the race detector and the differential tests cover the
+	// rest).
+	if locksMutex(pass, fd.Body) {
+		return
+	}
+
+	// Collect first-hop fields read through the receiver, with the
+	// position of the first read.
+	reads := make(map[*types.Var]ast.Node)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[base] != recvObj {
+			return true
+		}
+		field := fieldOf(pass, sel)
+		if field == nil {
+			return true
+		}
+		if _, seen := reads[field]; !seen {
+			reads[field] = sel
+		}
+		return true
+	})
+	if len(reads) == 0 {
+		return
+	}
+
+	for field, site := range reads {
+		if atomicSafe(field.Type()) || isMutex(field.Type()) {
+			continue
+		}
+		if w := findWrite(pass, recvType, field, fd); w != nil {
+			pass.Reportf(site.Pos(),
+				"%s.%s reads field %s, which is written elsewhere (%s) without atomics or a lock; make it atomic.*, lock it in both places, or annotate the snapshot //vetactive:ignore atomicstats <confinement>",
+				recvType.Obj().Name(), fd.Name.Name, field.Name(), pass.Fset.Position(w.Pos()))
+		}
+	}
+}
+
+// receiverObj returns the receiver variable's object.
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// locksMutex reports whether body calls Lock or RLock.
+func locksMutex(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// atomicSafe reports whether t is concurrency-safe to read: a sync/atomic
+// type, or a struct whose every field is (the transport's counter
+// block shape).
+func atomicSafe(t types.Type) bool {
+	named := analysis.NamedOf(t)
+	if named != nil {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	if st.NumFields() == 0 {
+		return false
+	}
+	for i := range st.NumFields() {
+		if !atomicSafe(st.Field(i).Type()) {
+			return false
+		}
+	}
+	return true
+}
+
+func isMutex(t types.Type) bool {
+	named := analysis.NamedOf(t)
+	if named == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg.Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// findWrite returns a write to the field (on any value of the receiver
+// type) outside the snapshot method and outside constructors, or nil.
+func findWrite(pass *analysis.Pass, recvType *types.Named, field *types.Var, snapshot *ast.FuncDecl) ast.Node {
+	var hit ast.Node
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd == snapshot {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if hit != nil {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if writesField(pass, lhs, field) {
+							hit = n
+						}
+					}
+				case *ast.IncDecStmt:
+					if writesField(pass, n.X, field) {
+						hit = n
+					}
+				}
+				return hit == nil
+			})
+			if hit != nil {
+				return hit
+			}
+		}
+	}
+	return nil
+}
+
+// writesField reports whether the assignment target expr stores into
+// the given field: a direct selector (x.f = ..., x.f++), a nested one
+// (x.f.g = ...), or an element store through it (x.f[k] = ...).
+func writesField(pass *analysis.Pass, expr ast.Expr, field *types.Var) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if fieldOf(pass, e) == field {
+				return true
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

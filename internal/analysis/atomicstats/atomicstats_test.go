@@ -1,0 +1,11 @@
+package atomicstats
+
+import (
+	"testing"
+
+	"github.com/gloss/active/internal/analysis/analysistest"
+)
+
+func TestAtomicstats(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "statsbad", "statsgood")
+}

@@ -1,0 +1,30 @@
+package statsbad
+
+type Stats struct {
+	Sent    uint64
+	Dropped uint64
+}
+
+type node struct {
+	stats    Stats
+	inFlight int
+}
+
+func newNode() *node { return &node{} }
+
+// send runs on a worker goroutine.
+func (n *node) send() {
+	n.stats.Sent++
+	n.inFlight++
+}
+
+func (n *node) drop() {
+	n.stats.Dropped++
+}
+
+// Stats snapshots counters that workers mutate concurrently.
+func (n *node) Stats() Stats {
+	s := n.stats   // want `node\.Stats reads field stats, which is written elsewhere`
+	_ = n.inFlight // want `node\.Stats reads field inFlight`
+	return s
+}

@@ -1,0 +1,70 @@
+package statsgood
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters is an all-atomic block, safe to snapshot field by field —
+// the transport's counter shape.
+type counters struct {
+	sent    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+type Stats struct {
+	Sent, Dropped uint64
+	Queued        int
+}
+
+type atomicNode struct {
+	c counters
+}
+
+func (n *atomicNode) send() { n.c.sent.Add(1) }
+
+func (n *atomicNode) Stats() Stats {
+	return Stats{Sent: n.c.sent.Load(), Dropped: n.c.dropped.Load()}
+}
+
+// lockedNode guards its counters with a mutex the snapshot takes.
+type lockedNode struct {
+	mu     sync.Mutex
+	queued int
+}
+
+func (n *lockedNode) enqueue() {
+	n.mu.Lock()
+	n.queued++
+	n.mu.Unlock()
+}
+
+func (n *lockedNode) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{Queued: n.queued}
+}
+
+// confinedBroker is single-goroutine by contract: the annotation
+// declares the confinement the analyzer cannot prove.
+type confinedBroker struct {
+	matched uint64
+}
+
+func (b *confinedBroker) handle() { b.matched++ }
+
+// Stats must be called from the actor goroutine only.
+//
+//vetactive:ignore atomicstats actor-confined: Stats is documented actor-goroutine-only
+func (b *confinedBroker) Stats() Stats {
+	return Stats{Sent: b.matched}
+}
+
+// readOnly has no writers outside the constructor: nothing to flag.
+type readOnly struct {
+	limit int
+}
+
+func newReadOnly(limit int) *readOnly { return &readOnly{limit: limit} }
+
+func (r *readOnly) Stats() Stats { return Stats{Queued: r.limit} }

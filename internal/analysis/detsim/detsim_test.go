@@ -1,0 +1,11 @@
+package detsim
+
+import (
+	"testing"
+
+	"github.com/gloss/active/internal/analysis/analysistest"
+)
+
+func TestDetsim(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "detbad", "detgood")
+}

@@ -1,0 +1,41 @@
+//vetactive:deterministic
+package detbad
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"time"
+)
+
+type world struct {
+	peers map[string]int
+	out   chan string
+	wire  []string
+}
+
+func (w *world) step() time.Duration {
+	start := time.Now()    // want `time\.Now`
+	if rand.Intn(2) == 0 { // want `math/rand\.Intn`
+		_ = maphash.MakeSeed() // want `MakeSeed`
+	}
+	return time.Since(start) // want `time\.Since`
+}
+
+func (w *world) flush() {
+	for p := range w.peers {
+		w.out <- p // want `channel send inside a map range`
+	}
+	for p := range w.peers {
+		w.wire = append(w.wire, p) // want `append to wire .* map range`
+	}
+}
+
+func (w *world) emit(send func(string)) {
+	for p, n := range w.peers {
+		_ = n
+		w.Send(p) // want `Send call inside a map range`
+	}
+	_ = send
+}
+
+func (w *world) Send(string) {}

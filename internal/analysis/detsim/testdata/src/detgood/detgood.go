@@ -1,0 +1,54 @@
+//vetactive:deterministic
+package detgood
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type world struct {
+	rng   *rand.Rand
+	peers map[string]int
+	wire  []string
+	now   time.Duration
+}
+
+func newWorld(seed int64) *world {
+	return &world{rng: rand.New(rand.NewSource(seed)), peers: map[string]int{}}
+}
+
+// step draws only from the seeded generator and virtual time.
+func (w *world) step() {
+	w.now += time.Duration(w.rng.Int63n(1000))
+}
+
+// flush iterates a sorted mirror, so emission order is stable.
+func (w *world) flush() {
+	keys := make([]string, 0, len(w.peers))
+	for p := range w.peers {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	for _, p := range keys {
+		w.wire = append(w.wire, p)
+	}
+}
+
+// count aggregates commutatively inside a map range: no emission, no
+// ordered accumulation, nothing to flag.
+func (w *world) count() int {
+	total := 0
+	for _, n := range w.peers {
+		total += n
+	}
+	return total
+}
+
+// tolerated is a deliberate, annotated exception.
+func (w *world) tolerated() {
+	for p := range w.peers {
+		//vetactive:ignore detsim order irrelevant: the sink dedups into a set
+		w.wire = append(w.wire, p)
+	}
+}

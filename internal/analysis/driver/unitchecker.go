@@ -1,0 +1,161 @@
+// The unitchecker half of the driver: cmd/go's `go vet -vettool=...`
+// invokes the tool once per compilation unit with a JSON config file
+// describing the unit's sources and the export data of its
+// (already-built) dependencies. This mirrors the protocol of
+// golang.org/x/tools/go/analysis/unitchecker, reimplemented on the
+// standard library because the module carries no dependencies.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/gloss/active/internal/analysis"
+)
+
+// unitConfig describes a vet compilation unit. The field set (and the
+// JSON shape) is fixed by cmd/go.
+type unitConfig struct {
+	ID                        string // e.g. "internal/pubsub [internal/pubsub.test]"
+	Compiler                  string // "gc"
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func contentHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return string(sum[:])
+}
+
+// runUnit executes one vet unit and exits: 0 clean, 1 operational
+// error, 2 diagnostics reported.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
+	cfg, err := readUnitConfig(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// vetactive analyzers are package-local: they export no facts, so
+	// the unit's "vetx" output is always an empty placeholder, written
+	// unconditionally because dependent units name it as an input.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// This unit is only needed for facts; with none, there is
+		// nothing to do.
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	includesTests := false
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			includesTests = true
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// The export data file may be missing if the package was only
+		// needed at link time; cmd/go guarantees it for real imports.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		// The import map translates source-level import paths to
+		// canonical package paths (vendoring, test variants).
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := runAnalyzers(fset, files, pkg, info, includesTests, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func readUnitConfig(cfgFile string) (*unitConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		// Mirrors unitchecker: units with no Go files (e.g. pure-cgo or
+		// empty packages) carry nothing to analyze.
+		return nil, fmt.Errorf("package %s has no Go files", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vetactive: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+// Package frozenmut promotes the event plane's runtime freeze panic to
+// a compile-time report. An event.Event crossing the dispatch boundary
+// is frozen (Freeze()) and shared zero-copy between subscribers; its
+// mutators (Set, SetBody, Stamp) panic at runtime when called on a
+// frozen value. This analyzer flags the two local flows that reach
+// that panic:
+//
+//   - calling a mutator on a value produced by Freeze(), directly
+//     (ev.Freeze().Set(...)) or through a local variable;
+//   - calling a mutator on the event parameter of a subscriber
+//     callback (a function literal passed to a Subscribe call or bound
+//     to a Deliver field) — delivered events are frozen by contract.
+//
+// Reassigning through the sanctioned escape hatches — Mutable(),
+// Clone(), CloneDetached(), or a fresh event — clears the taint. The
+// analysis is intra-function and name-based (a named type Event with a
+// Freeze method), so it applies to any package handling events without
+// cross-package facts.
+package frozenmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/gloss/active/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "frozenmut",
+	Doc:  "flag event.Event mutator calls on values that flow from Freeze() or dispatch boundaries",
+	Run:  run,
+}
+
+// mutators panic on frozen events.
+var mutators = map[string]bool{"Set": true, "SetBody": true, "Stamp": true}
+
+// thawers return a mutable event.
+var thawers = map[string]bool{"Mutable": true, "Clone": true, "CloneDetached": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// isEvent reports whether t is (a pointer to) a named type Event that
+// has a Freeze method — the freeze/borrow contract's shape.
+func isEvent(t types.Type) bool {
+	named := analysis.NamedOf(t)
+	if named == nil || named.Obj().Name() != "Event" {
+		return false
+	}
+	for m := range named.NumMethods() {
+		if named.Method(m).Name() == "Freeze" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks one function body in source order, tracking which
+// local objects hold frozen events. frozen is the inherited taint for
+// closures (nil for top-level functions).
+func checkFunc(pass *analysis.Pass, body ast.Node, frozen map[types.Object]bool) {
+	if frozen == nil {
+		frozen = make(map[types.Object]bool)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				ident, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ident]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[ident]
+				}
+				if obj == nil || !isEvent(obj.Type()) {
+					continue
+				}
+				// Multi-value RHS (x, err := f()) can't be a Freeze chain.
+				if len(n.Rhs) != len(n.Lhs) {
+					frozen[obj] = false
+					continue
+				}
+				frozen[obj] = freezesValue(pass, n.Rhs[i], frozen)
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !mutators[sel.Sel.Name] {
+				return true
+			}
+			recv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok || !isEvent(recv.Type) {
+				return true
+			}
+			if freezesValue(pass, sel.X, frozen) {
+				pass.Reportf(n.Pos(), "%s called on a frozen event (it panics at runtime; use Mutable() or CloneDetached() for a writable copy)", sel.Sel.Name)
+			}
+		case *ast.FuncLit:
+			// Subscriber callbacks receive frozen events: taint the
+			// event-typed parameters of literals bound to dispatch
+			// boundaries, and inherit the enclosing taint either way.
+			inner := make(map[types.Object]bool, len(frozen)+1)
+			for k, v := range frozen {
+				inner[k] = v
+			}
+			if deliveryCallback(pass, body, n) {
+				for _, field := range n.Type.Params.List {
+					for _, name := range field.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil && isEvent(obj.Type()) {
+							inner[obj] = true
+						}
+					}
+				}
+			}
+			checkFunc(pass, n.Body, inner)
+			return false
+		}
+		return true
+	})
+}
+
+// freezesValue reports whether the expression produces a frozen event:
+// a Freeze() call, or a read of a tainted local.
+func freezesValue(pass *analysis.Pass, e ast.Expr, frozen map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		return obj != nil && frozen[obj]
+	case *ast.ParenExpr:
+		return freezesValue(pass, e.X, frozen)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Freeze" {
+				if recv, ok := pass.TypesInfo.Types[sel.X]; ok && isEvent(recv.Type) {
+					return true
+				}
+			}
+			if thawers[sel.Sel.Name] {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// deliveryCallback reports whether lit is bound to a dispatch
+// boundary: an argument of a call whose method is named Subscribe, or
+// the value of a Deliver key in a composite literal.
+func deliveryCallback(pass *analysis.Pass, scope ast.Node, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Subscribe" {
+				for _, arg := range n.Args {
+					if arg == lit {
+						found = true
+					}
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Deliver" && n.Value == lit {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,11 @@
+package frozenmut
+
+import (
+	"testing"
+
+	"github.com/gloss/active/internal/analysis/analysistest"
+)
+
+func TestFrozenmut(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "frozenbad", "frozengood")
+}

@@ -1,0 +1,31 @@
+// Package event is a fixture stub mirroring the freeze/borrow surface
+// of the real internal/event package.
+package event
+
+type Event struct {
+	attrs  map[string]any
+	frozen bool
+}
+
+func New(typ string) *Event { return &Event{attrs: map[string]any{"type": typ}} }
+
+func (e *Event) Freeze() *Event { e.frozen = true; return e }
+
+func (e *Event) Set(name string, v any) *Event { e.attrs[name] = v; return e }
+
+func (e *Event) SetBody(b []byte) *Event { e.attrs["body"] = b; return e }
+
+func (e *Event) Stamp(seq uint64) *Event { e.attrs["seq"] = seq; return e }
+
+func (e *Event) Mutable() *Event {
+	if !e.frozen {
+		return e
+	}
+	cp := *e
+	cp.frozen = false
+	return &cp
+}
+
+func (e *Event) CloneDetached() *Event { cp := *e; cp.frozen = false; return &cp }
+
+func (e *Event) Get(name string) any { return e.attrs[name] }

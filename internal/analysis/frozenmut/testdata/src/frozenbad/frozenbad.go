@@ -1,0 +1,35 @@
+package frozenbad
+
+import "event"
+
+type bus struct{}
+
+func (bus) Subscribe(filter string, deliver func(*event.Event)) {}
+
+type sink struct {
+	Deliver func(*event.Event)
+}
+
+func chain() {
+	ev := event.New("alert")
+	ev.Freeze().Set("k", 1) // want `Set called on a frozen event`
+}
+
+func throughLocal() {
+	ev := event.New("alert")
+	frozen := ev.Freeze()
+	frozen.SetBody([]byte("x")) // want `SetBody called on a frozen event`
+	frozen.Stamp(7)             // want `Stamp called on a frozen event`
+}
+
+func subscriber(b bus) {
+	b.Subscribe("type = alert", func(ev *event.Event) {
+		ev.Set("seen", true) // want `Set called on a frozen event`
+	})
+}
+
+func deliverField() sink {
+	return sink{Deliver: func(ev *event.Event) {
+		ev.Stamp(1) // want `Stamp called on a frozen event`
+	}}
+}

@@ -1,0 +1,49 @@
+package frozengood
+
+import "event"
+
+type bus struct{}
+
+func (bus) Subscribe(filter string, deliver func(*event.Event)) {}
+
+// mutableBeforeFreeze builds the event first, then freezes: the
+// mutators run while it is still writable.
+func mutableBeforeFreeze() *event.Event {
+	ev := event.New("alert")
+	ev.Set("k", 1).Stamp(7)
+	return ev.Freeze()
+}
+
+// thawed goes through the sanctioned escape hatch before mutating.
+func thawed() {
+	ev := event.New("alert").Freeze()
+	cp := ev.Mutable()
+	cp.Set("k", 2)
+	detached := ev.CloneDetached()
+	detached.SetBody([]byte("x"))
+}
+
+// reassigned clears the taint by rebinding the variable to a fresh
+// event.
+func reassigned() {
+	ev := event.New("alert")
+	ev = ev.Freeze().Mutable()
+	ev.Set("k", 3)
+	ev = event.New("other")
+	ev.Stamp(9)
+}
+
+// reader only inspects the delivered (frozen) event.
+func reader(b bus) {
+	b.Subscribe("type = alert", func(ev *event.Event) {
+		_ = ev.Get("k")
+	})
+}
+
+// borrowed documents a deliberate exception: the harness knows the
+// event is uniquely owned despite the freeze.
+func borrowed() {
+	ev := event.New("alert").Freeze()
+	//vetactive:ignore frozenmut fixture exercises the runtime panic itself
+	ev.Set("k", 4)
+}

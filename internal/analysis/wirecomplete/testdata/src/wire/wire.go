@@ -1,0 +1,19 @@
+// Package wire stubs the registry surface wirecomplete matches on:
+// a named Registry with a Register method.
+package wire
+
+type Message interface {
+	Kind() string
+}
+
+type Registry struct {
+	kinds map[string]Message
+}
+
+func NewRegistry() *Registry {
+	return &Registry{kinds: make(map[string]Message)}
+}
+
+func (r *Registry) Register(m Message) {
+	r.kinds[m.Kind()] = m
+}

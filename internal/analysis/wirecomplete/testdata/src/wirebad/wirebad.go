@@ -1,0 +1,47 @@
+package wirebad
+
+import "wire"
+
+// Full has the complete binary pair, but the package's tests (see
+// wirebad_test.go) carry no Fuzz target for the decoder.
+type Full struct{ body []byte }
+
+func (f *Full) Kind() string { return "full" }
+
+func (f *Full) AppendWire(b []byte) []byte { return append(b, f.body...) }
+
+func (f *Full) ParseWire(b []byte) error { f.body = b; return nil } // want `defines binary decoders \(ParseWire\) but its tests have no Fuzz\* target`
+
+// Half encodes frames no peer can decode.
+type Half struct{}
+
+func (h *Half) Kind() string { return "half" }
+
+func (h *Half) AppendWire(b []byte) []byte { return b }
+
+// Plain has no binary codec and no declared XML fallback.
+type Plain struct{}
+
+func (p *Plain) Kind() string { return "plain" }
+
+// Flaky marks itself control traffic only sometimes, so the two
+// codecs can disagree about its outbox budget exemption.
+type Flaky struct {
+	urgent bool
+	body   []byte
+}
+
+func (c *Flaky) Kind() string { return "flaky" }
+
+func (c *Flaky) AppendWire(b []byte) []byte { return append(b, c.body...) }
+
+func (c *Flaky) ParseWire(b []byte) error { c.body = b; return nil }
+
+func (c *Flaky) Control() bool { return c.urgent } // want `Flaky\.Control must return the constant true`
+
+func register(r *wire.Registry) {
+	r.Register(&Full{})
+	r.Register(&Half{})  // want `registered kind Half implements AppendWire but not ParseWire`
+	r.Register(&Plain{}) // want `registered kind Plain has no binary AppendWire/ParseWire pair`
+	r.Register(&Flaky{})
+}

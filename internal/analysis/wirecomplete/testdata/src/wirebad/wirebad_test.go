@@ -1,0 +1,16 @@
+package wirebad
+
+import (
+	"testing"
+
+	"wire"
+)
+
+// A plain round-trip test is not fuzz coverage.
+func TestRoundTrip(t *testing.T) {
+	register(wire.NewRegistry())
+	var f Full
+	if err := f.ParseWire(f.AppendWire(nil)); err != nil {
+		t.Fatal(err)
+	}
+}

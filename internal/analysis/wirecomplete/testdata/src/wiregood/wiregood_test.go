@@ -1,0 +1,13 @@
+package wiregood
+
+import "testing"
+
+func FuzzGoodParse(f *testing.F) {
+	f.Add([]byte("seed"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var g Good
+		if err := g.ParseWire(b); err != nil {
+			t.Skip()
+		}
+	})
+}

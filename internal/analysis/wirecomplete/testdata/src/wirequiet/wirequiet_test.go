@@ -1,0 +1,10 @@
+package wirequiet
+
+import "testing"
+
+func TestFrame(t *testing.T) {
+	var f Frame
+	if err := f.ParseWire(f.AppendWire(nil)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+package wirecomplete
+
+import (
+	"testing"
+
+	"github.com/gloss/active/internal/analysis/analysistest"
+)
+
+func TestWirecomplete(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "wirebad", "wiregood", "wirequiet")
+}

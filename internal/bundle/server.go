@@ -192,7 +192,11 @@ func NewThinServer(ep netapi.Endpoint, reg *Registry, opts Options) *ThinServer 
 // SetEmitter wires domain Emit calls into the host (pipelines/pub-sub).
 func (ts *ThinServer) SetEmitter(emit func(*event.Event)) { ts.emit = emit }
 
-// Stats returns a snapshot of counters.
+// Stats returns a snapshot of counters. Must run on the server's
+// owning goroutine: deployment state is confined to the endpoint's
+// delivery loop.
+//
+//vetactive:ignore atomicstats actor-confined to the endpoint delivery goroutine
 func (ts *ThinServer) Stats() Stats {
 	s := ts.stats
 	s.ActiveDomains = len(ts.domains)
@@ -355,6 +359,10 @@ type DeployReply struct {
 func (DeployReply) Kind() string { return "bundle.reply" }
 
 // RegisterMessages records deployment message types in a wire registry.
+// Deployments are rare control-plane operations carrying XML bundle
+// documents; a binary fast path would save nothing measurable.
+//
+//vetactive:xmlfallback rare control-plane kinds, payload is XML anyway
 func RegisterMessages(r *wire.Registry) {
 	r.Register(&DeployMsg{})
 	r.Register(&UndeployMsg{})

@@ -1,0 +1,37 @@
+package event
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/gloss/active/internal/wire"
+)
+
+// FuzzEventParseWire drives the binary event decoder with arbitrary
+// frames: it must never panic, and anything it accepts must re-encode
+// to a stable canonical form (attribute order is sorted, so
+// encode∘parse∘encode is a fixed point).
+func FuzzEventParseWire(f *testing.F) {
+	seed := New("alert", "sensor-7", 42*time.Millisecond)
+	seed.SetBody("hot")
+	seed.Set("user", S("alice"))
+	seed.Set("temp", I(99))
+	f.Add([]byte(seed.AppendWire(nil)))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e Event
+		if err := e.ParseWire(wire.NewBinReader(data)); err != nil {
+			return
+		}
+		first := e.AppendWire(nil)
+		var re Event
+		if err := re.ParseWire(wire.NewBinReader(first)); err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v", err)
+		}
+		if second := re.AppendWire(nil); !bytes.Equal(first, second) {
+			t.Fatalf("encode not a fixed point:\n first=%x\nsecond=%x", first, second)
+		}
+	})
+}

@@ -87,7 +87,11 @@ func NewEngine(ep netapi.Endpoint, client *pubsub.Client, opts EngineOptions) *E
 // State exposes the engine's deployment view (read-only use expected).
 func (e *Engine) State() *constraint.State { return e.state }
 
-// Stats returns a snapshot of counters.
+// Stats returns a snapshot of counters. Must run on the engine's
+// owning goroutine: counters are mutated only inside subscription
+// callbacks, which the client delivers on that same loop.
+//
+//vetactive:ignore atomicstats actor-confined; writers are delivery callbacks on the same loop
 func (e *Engine) Stats() EngineStats { return e.stats }
 
 // Start subscribes to the resource event streams and begins evaluating.

@@ -44,7 +44,7 @@ func buildCluster(cfg clusterCfg) *overlayCluster {
 	plaxton.RegisterMessages(reg)
 	store.RegisterMessages(reg)
 	knowledge.RegisterMessages(reg)
-	reg.Register(&probeMsg{})
+	reg.Register(&probeMsg{}) //vetactive:xmlfallback experiment probe, not a production kind
 	switch cfg.codec {
 	case "bin":
 		w.SetCodec(wire.NewBinaryCodec(reg))

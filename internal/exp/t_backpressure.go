@@ -87,7 +87,7 @@ func (t13Msg) Kind() string { return "t13.msg" }
 // simMsgSize measures one encoded sim-row message.
 func simMsgSize() int {
 	reg := wire.NewRegistry()
-	reg.Register(&t13Msg{})
+	reg.Register(&t13Msg{}) //vetactive:xmlfallback experiment payload, not a production kind
 	frame, err := reg.Encode(&wire.Envelope{
 		From: ids.FromString("t13-size-a"),
 		To:   ids.FromString("t13-size-b"),
@@ -103,7 +103,7 @@ func simMsgSize() int {
 // attempts, overflow drops and delivery-latency percentiles.
 func simBackpressureRun(budgetBytes, steps, perStep int) (attempts, dropped uint64, p50, p99 time.Duration) {
 	reg := wire.NewRegistry()
-	reg.Register(&t13Msg{})
+	reg.Register(&t13Msg{}) //vetactive:xmlfallback experiment payload, not a production kind
 	w := simnet.NewWorld(simnet.Config{
 		Seed: 13, DisableJitter: true, Codec: reg,
 		OutboxHighWater: budgetBytes,
@@ -133,7 +133,7 @@ func simBackpressureRun(budgetBytes, steps, perStep int) (attempts, dropped uint
 func tcpBackpressureRun(burst, rounds int, suffix string, opts transport.Options) (attempts, dropped uint64, p50, p99 time.Duration) {
 	reg := wire.NewRegistry()
 	transport.RegisterMessages(reg)
-	reg.Register(&t13Msg{})
+	reg.Register(&t13Msg{}) //vetactive:xmlfallback experiment payload, not a production kind
 	opts.Seed = 1
 	a, err := transport.Listen(ids.FromString("t13-tcp-a-"+suffix), reg, opts)
 	if err != nil {

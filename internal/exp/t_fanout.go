@@ -110,7 +110,7 @@ func simFanoutRun(fo, pubs int, clone bool) (clonesPerDlv, allocsPerDlv, kmsgs f
 func tcpBatchRun(msgs int, disableBatching bool) (writesPer10k, kmsgs float64) {
 	reg := wire.NewRegistry()
 	transport.RegisterMessages(reg)
-	reg.Register(&t12Msg{})
+	reg.Register(&t12Msg{}) //vetactive:xmlfallback experiment payload, not a production kind
 	suffix := "batch"
 	if disableBatching {
 		suffix = "nobatch"

@@ -90,6 +90,11 @@ type StatusReply struct {
 func (StatusReply) Kind() string { return "gateway.statusReply" }
 
 // RegisterMessages records gateway message types in a wire registry.
+// Gateway traffic is the client edge, not the broker fast path: volume
+// is per-client-request, and the XML forms double as the external
+// interop surface, so none of these kinds carry binary codecs.
+//
+//vetactive:xmlfallback client-edge kinds stay XML-only as the interop surface
 func RegisterMessages(r *wire.Registry) {
 	r.Register(&PutReq{})
 	r.Register(&PutReply{})

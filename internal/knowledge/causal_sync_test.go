@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/gloss/active/internal/leakcheck"
 )
 
 // bobWriter0/bobWriter1 are the two concurrent broker updates used by
@@ -98,6 +100,7 @@ func TestLegacySyncLosesConcurrentWrites(t *testing.T) {
 // brokers update the same subject concurrently; with causal sync and
 // gossip anti-entropy EVERY node converges to the merged fact set.
 func TestCausalConvergesNoLostWrites(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	w, stores := buildStores(t, 8)
 	kbs := make([]*KB, len(stores))
 	sys := make([]*Syncer, len(stores))
@@ -349,5 +352,34 @@ func TestKBSubjectCacheInvalidation(t *testing.T) {
 	}
 	if subj := kb.Subjects(); len(subj) != 3 || subj[0] != "bob" {
 		t.Fatalf("Subjects() = %v", subj)
+	}
+}
+
+// TestSyncerStopHaltsGossip: Stop ends the rescheduling chain — rounds
+// stop advancing no matter how long the world runs — while explicit
+// GossipNow still works for manually driven syncers.
+func TestSyncerStopHaltsGossip(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	w, stores := buildStores(t, 4)
+	kb := NewKB()
+	bobWriter0(kb)
+	sy := NewSyncerOpts(stores[0], kb, Options{GossipInterval: time.Second})
+	sy.PublishSubject("bob", func(error) {})
+	w.RunFor(10 * time.Second)
+	if sy.Stats().GossipRounds == 0 {
+		t.Fatal("gossip never ran before Stop")
+	}
+	sy.Stop()
+	w.RunFor(2 * time.Second) // the already-armed timer fires as a no-op
+	base := sy.Stats().GossipRounds
+	w.RunFor(30 * time.Second)
+	if got := sy.Stats().GossipRounds; got != base {
+		t.Fatalf("gossip kept running after Stop: rounds %d -> %d", base, got)
+	}
+	sy.Stop() // idempotent
+	sy.GossipNow()
+	w.RunFor(2 * time.Second)
+	if got := sy.Stats().GossipRounds; got != base+1 {
+		t.Fatalf("manual GossipNow after Stop: rounds %d, want %d", got, base+1)
 	}
 }

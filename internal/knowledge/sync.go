@@ -81,6 +81,8 @@ type Syncer struct {
 	subjects map[string]*causal.Versioned[[]Fact]
 	gisDocs  map[string]*causal.Versioned[[]Place]
 
+	stopped atomic.Bool
+
 	fetches       atomic.Uint64
 	publishes     atomic.Uint64
 	gossipRounds  atomic.Uint64
@@ -335,11 +337,20 @@ func (sy *Syncer) absorbGIS(region string, remote *causal.Versioned[[]Place], st
 
 // --- gossip anti-entropy ------------------------------------------------------
 
-// gossipTick runs one anti-entropy round and reschedules itself.
+// gossipTick runs one anti-entropy round and reschedules itself until
+// Stop is called.
 func (sy *Syncer) gossipTick() {
+	if sy.stopped.Load() {
+		return
+	}
 	sy.GossipNow()
 	sy.store.Endpoint().Clock().After(sy.opts.GossipInterval, sy.gossipTick)
 }
+
+// Stop halts periodic gossip: the current timer fires at most once more
+// and does nothing. Explicit GossipNow calls still work, so a stopped
+// syncer can be driven manually. Idempotent.
+func (sy *Syncer) Stop() { sy.stopped.Store(true) }
 
 // GossipNow initiates one anti-entropy round: the local digest is sent
 // to up to GossipFanout random peers; each answers with its own digest

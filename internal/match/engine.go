@@ -96,7 +96,11 @@ func (e *Engine) KB() *knowledge.KB { return e.kb }
 // GIS exposes the engine's GIS layer.
 func (e *Engine) GIS() *knowledge.GIS { return e.gis }
 
-// Stats returns a snapshot of counters.
+// Stats returns a snapshot of counters. Must run on the engine's
+// owning goroutine: rules and counters are mutated only by delivery
+// callbacks on that same loop.
+//
+//vetactive:ignore atomicstats actor-confined; writers are delivery callbacks on the same loop
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.Rules = len(e.rules)

@@ -56,6 +56,11 @@ type Common struct {
 	// sends (the TCP transport); over simnet the broker stays serial
 	// regardless, preserving simulation determinism.
 	FanoutWorkers int
+	// LegacyOutbox restores the fixed frame-count outbox on substrates
+	// that have one (the TCP transport) instead of the byte-budgeted
+	// queue. The legacy queue has no byte accounting, so it cannot
+	// coexist with parallel fan-out: Validate rejects the combination.
+	LegacyOutbox bool
 	// KBWriter is the node's writer identity in knowledge-plane version
 	// vectors (knowledge.Options.Writer). Empty defaults to the node's
 	// endpoint ID; it must be unique per writer node.
@@ -92,6 +97,9 @@ func (c Common) Merge(o Common) Common {
 	if c.FanoutWorkers == 0 {
 		c.FanoutWorkers = o.FanoutWorkers
 	}
+	if !c.LegacyOutbox {
+		c.LegacyOutbox = o.LegacyOutbox
+	}
 	if c.KBWriter == "" {
 		c.KBWriter = o.KBWriter
 	}
@@ -105,14 +113,28 @@ func (c Common) Merge(o Common) Common {
 }
 
 // Validate rejects values no substrate could accept: an unknown codec
-// name or an inverted watermark pair. Zero values always pass.
+// name, a negative or inverted watermark pair, or the legacy outbox
+// combined with parallel fan-out. Zero values always pass.
 func (c Common) Validate() error {
 	if c.Codec != "" && c.Codec != "xml" && c.Codec != "binary" {
 		return fmt.Errorf("nodecfg: unknown codec %q (want \"xml\" or \"binary\")", c.Codec)
 	}
+	if c.OutboxHighWater < 0 {
+		return fmt.Errorf("nodecfg: negative OutboxHighWater %d", c.OutboxHighWater)
+	}
+	if c.OutboxLowWater < 0 {
+		return fmt.Errorf("nodecfg: negative OutboxLowWater %d", c.OutboxLowWater)
+	}
 	if c.OutboxLowWater > c.OutboxHighWater {
 		return fmt.Errorf("nodecfg: OutboxLowWater %d exceeds OutboxHighWater %d",
 			c.OutboxLowWater, c.OutboxHighWater)
+	}
+	// The legacy frame-cap outbox predates concurrent producers: it has
+	// no byte accounting, so shed decisions snapshotted by the fan-out
+	// pool would be meaningless over it.
+	if c.LegacyOutbox && c.FanoutWorkers > 1 {
+		return fmt.Errorf("nodecfg: FanoutWorkers %d requires the byte-budgeted outbox; drop LegacyOutbox or use FanoutWorkers 1",
+			c.FanoutWorkers)
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("nodecfg: negative Shards %d", c.Shards)
@@ -121,7 +143,8 @@ func (c Common) Validate() error {
 		return fmt.Errorf("nodecfg: negative FanoutWorkers %d", c.FanoutWorkers)
 	}
 	if c.KBSiblingCap < 0 {
-		return fmt.Errorf("nodecfg: negative KBSiblingCap %d", c.KBSiblingCap)
+		return fmt.Errorf("nodecfg: KBSiblingCap %d; a sibling cap must be at least 1 (0 selects the default)",
+			c.KBSiblingCap)
 	}
 	return nil
 }

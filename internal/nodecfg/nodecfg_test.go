@@ -56,15 +56,32 @@ func TestValidate(t *testing.T) {
 	if err := (Common{Codec: "binary", OutboxHighWater: 10, OutboxLowWater: 5, Shards: 8, FanoutWorkers: 4}).Validate(); err != nil {
 		t.Fatalf("valid Common rejected: %v", err)
 	}
+	if err := (Common{LegacyOutbox: true, FanoutWorkers: 1}).Validate(); err != nil {
+		t.Fatalf("legacy outbox with serial fan-out rejected: %v", err)
+	}
 	for _, bad := range []Common{
 		{Codec: "gob"},
 		{OutboxHighWater: 1, OutboxLowWater: 2},
+		{OutboxHighWater: -1},
+		{OutboxLowWater: -3},
 		{Shards: -1},
 		{FanoutWorkers: -2},
 		{KBSiblingCap: -1},
+		{LegacyOutbox: true, FanoutWorkers: 4},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Fatalf("Validate(%+v) = nil, want error", bad)
 		}
+	}
+}
+
+func TestMergeAdoptsLegacyOutbox(t *testing.T) {
+	got := Common{}.Merge(Common{LegacyOutbox: true})
+	if !got.LegacyOutbox {
+		t.Fatal("LegacyOutbox not filled from inner")
+	}
+	got = Common{LegacyOutbox: true}.Merge(Common{})
+	if !got.LegacyOutbox {
+		t.Fatal("outer LegacyOutbox lost in merge")
 	}
 }

@@ -255,6 +255,11 @@ type PutMsg struct {
 func (PutMsg) Kind() string { return "pipeline.put" }
 
 // RegisterMessages records pipeline message types in a wire registry.
+// PutMsg wraps a store write ordered through the pipeline; the inner
+// fragment already travels in its binary form, so the envelope stays
+// on the XML slow path until profiles say otherwise.
+//
+//vetactive:xmlfallback envelope only; inner store fragment is already binary
 func RegisterMessages(r *wire.Registry) {
 	r.Register(&PutMsg{})
 }

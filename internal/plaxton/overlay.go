@@ -143,7 +143,11 @@ func (o *Overlay) ID() ids.ID { return o.self }
 // Joined reports whether the node participates in the overlay.
 func (o *Overlay) Joined() bool { return o.joined }
 
-// Stats returns a snapshot of routing counters.
+// Stats returns a snapshot of routing counters. Must run on the
+// overlay's owning goroutine: routing state is confined to the
+// endpoint's delivery loop.
+//
+//vetactive:ignore atomicstats actor-confined to the endpoint delivery goroutine
 func (o *Overlay) Stats() Stats { return o.stats }
 
 // Leaves returns the current leaf-set members.

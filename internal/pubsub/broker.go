@@ -202,6 +202,8 @@ func (b *Broker) ID() ids.ID { return b.ep.ID() }
 
 // AddNeighbor marks id as a peer broker. The overlay must remain acyclic;
 // topology construction is the caller's responsibility (see ConnectBrokers).
+//
+//vetactive:actoronly
 func (b *Broker) AddNeighbor(id ids.ID) {
 	if b.neighbors[id] {
 		return
@@ -218,6 +220,8 @@ func (b *Broker) AddNeighbor(id ids.ID) {
 // subscriptions that arrived from that direction are dropped, forwarding
 // state toward it is discarded, and the remaining neighbours are
 // reconciled. Safe to call for unknown ids.
+//
+//vetactive:actoronly
 func (b *Broker) RemoveNeighbor(id ids.ID) {
 	if !b.neighbors[id] {
 		return
@@ -255,15 +259,24 @@ func (b *Broker) Neighbors() []ids.ID {
 // Resync pushes the full desired subscription set to every neighbour —
 // called after AddNeighbor when the topology has been repaired, so the
 // new link learns what must flow over it.
+//
+//vetactive:actoronly
 func (b *Broker) Resync() { b.reconcileAll() }
 
 // ConnectBrokers wires two brokers as neighbours (both directions).
+//
+//vetactive:actorloop
 func ConnectBrokers(a, b *Broker) {
 	a.AddNeighbor(b.ID())
 	b.AddNeighbor(a.ID())
 }
 
-// Stats returns a snapshot of activity counters and table sizes.
+// Stats returns a snapshot of activity counters and table sizes. It
+// must run on the broker's owning goroutine: counters and tables are
+// actor-confined, and only the fan-out pool (which keeps its own
+// atomic counters) runs elsewhere.
+//
+//vetactive:ignore atomicstats actor-confined; fan-out pool counters are separately atomic
 func (b *Broker) Stats() Stats {
 	s := b.stats
 	s.TableEntries = len(b.entries)
@@ -277,6 +290,8 @@ func (b *Broker) Stats() Stats {
 
 // addEntry installs a new distinct filter in the subscription table and
 // the predicate index together; the two must never diverge.
+//
+//vetactive:actoronly
 func (b *Broker) addEntry(key string, f Filter) *entry {
 	ent := &entry{filter: f, dirs: make(map[ids.ID]bool)}
 	b.entries[key] = ent
@@ -286,12 +301,15 @@ func (b *Broker) addEntry(key string, f Filter) *entry {
 }
 
 // dropEntry removes a distinct filter from the table and the index.
+//
+//vetactive:actoronly
 func (b *Broker) dropEntry(key string) {
 	delete(b.entries, key)
 	b.dropEntryKey(key)
 	b.index.Remove(key)
 }
 
+//vetactive:actoronly
 func (b *Broker) addEntryKey(key string) {
 	i := sort.SearchStrings(b.entryKeys, key)
 	if i < len(b.entryKeys) && b.entryKeys[i] == key {
@@ -302,6 +320,7 @@ func (b *Broker) addEntryKey(key string) {
 	b.entryKeys[i] = key
 }
 
+//vetactive:actoronly
 func (b *Broker) dropEntryKey(key string) {
 	i := sort.SearchStrings(b.entryKeys, key)
 	if i < len(b.entryKeys) && b.entryKeys[i] == key {
@@ -320,6 +339,7 @@ func sortedFilterKeys(m map[string]Filter) []string {
 
 // --- subscription handling ---------------------------------------------------
 
+//vetactive:actorloop
 func (b *Broker) handleSub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	sub := msg.(*SubMsg)
 	b.stats.SubsReceived++
@@ -328,6 +348,8 @@ func (b *Broker) handleSub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 
 // subscribe records a subscription arriving from dir and propagates it to
 // every other direction (pruned by covering and advertisements).
+//
+//vetactive:actoronly
 func (b *Broker) subscribe(from ids.ID, f Filter) {
 	key := f.Key()
 	ent, ok := b.entries[key]
@@ -345,6 +367,8 @@ func (b *Broker) subscribe(from ids.ID, f Filter) {
 
 // forwardSub sends f to neighbour n unless pruning applies, and retires
 // forwarded filters that f covers.
+//
+//vetactive:actoronly
 func (b *Broker) forwardSub(n ids.ID, key string, f Filter) {
 	if _, sent := b.forwarded[n][key]; sent {
 		return
@@ -391,11 +415,13 @@ func (b *Broker) advertIntersectsVia(n ids.ID, f Filter) bool {
 	return false
 }
 
+//vetactive:actorloop
 func (b *Broker) handleUnsub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	unsub := msg.(*UnsubMsg)
 	b.unsubscribe(from, unsub.Filter)
 }
 
+//vetactive:actoronly
 func (b *Broker) unsubscribe(from ids.ID, f Filter) {
 	key := f.Key()
 	ent, ok := b.entries[key]
@@ -412,6 +438,8 @@ func (b *Broker) unsubscribe(from ids.ID, f Filter) {
 // reconcileAll recomputes, for every neighbour, the minimal set of filters
 // that must be forwarded, and sends the sub/unsub diff. Used on
 // unsubscription, where covering relationships may need rebuilding.
+//
+//vetactive:actoronly
 func (b *Broker) reconcileAll() {
 	for _, n := range b.nborOrder {
 		desired := make(map[string]Filter)
@@ -473,6 +501,7 @@ func minimalCover(in map[string]Filter) map[string]Filter {
 
 // --- advertisement handling ----------------------------------------------------
 
+//vetactive:actorloop
 func (b *Broker) handleAdv(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	adv := msg.(*AdvMsg)
 	key := adv.Filter.Key()
@@ -506,6 +535,7 @@ func (b *Broker) handleAdv(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	}
 }
 
+//vetactive:actorloop
 func (b *Broker) handleUnadv(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	unadv := msg.(*UnadvMsg)
 	key := unadv.Filter.Key()
@@ -526,6 +556,7 @@ func (b *Broker) handleUnadv(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 
 // --- notification handling -------------------------------------------------------
 
+//vetactive:actorloop
 func (b *Broker) handlePub(_ netapi.Ctx, from ids.ID, msg wire.Message) {
 	pub := msg.(*PubMsg)
 	b.stats.PubsReceived++
@@ -649,6 +680,8 @@ func (b *Broker) Close() {
 // onDrain is the endpoint's below-the-low-watermark-again signal: the
 // destination can absorb fan-out again. A shed episode toward it is
 // finalised into DrainEvents so overload episodes are countable.
+//
+//vetactive:actoronly
 func (b *Broker) onDrain(to ids.ID) {
 	if _, shed := b.shedTo[to]; shed {
 		delete(b.shedTo, to)
@@ -671,6 +704,8 @@ func (b *Broker) fanoutEvent(ev *event.Event) *event.Event {
 // direction from — the local-injection seam the experiment harness and
 // benchmarks use to build large subscription tables without a network.
 // Like every handler it must run on the actor goroutine.
+//
+//vetactive:actoronly
 func (b *Broker) Subscribe(from ids.ID, f Filter) {
 	b.stats.SubsReceived++
 	b.subscribe(from, f)
@@ -679,6 +714,8 @@ func (b *Broker) Subscribe(from ids.ID, f Filter) {
 // Publish runs the full publish pipeline — match, classification, shed
 // decisions, fan-out — for msg as if it had arrived from the direction
 // from; the experiment harness's injection seam, actor goroutine only.
+//
+//vetactive:actoronly
 func (b *Broker) Publish(from ids.ID, msg *PubMsg) {
 	b.handlePub(nil, from, msg)
 }
@@ -698,6 +735,8 @@ func (b *Broker) matchLinear(ev *event.Event, visit func(*entry)) {
 
 // handlePeer registers the sender as a peer broker and resynchronises the
 // subscription state flowing over the new link.
+//
+//vetactive:actorloop
 func (b *Broker) handlePeer(_ netapi.Ctx, from ids.ID, _ wire.Message) {
 	if b.neighbors[from] {
 		return
@@ -708,12 +747,14 @@ func (b *Broker) handlePeer(_ netapi.Ctx, from ids.ID, _ wire.Message) {
 
 // --- mobility -----------------------------------------------------------------------
 
+//vetactive:actorloop
 func (b *Broker) handleDetach(_ netapi.Ctx, from ids.ID, _ wire.Message) {
 	if _, ok := b.proxies[from]; !ok {
 		b.proxies[from] = &proxy{}
 	}
 }
 
+//vetactive:actorloop
 func (b *Broker) handleReclaim(ctx netapi.Ctx, from ids.ID, _ wire.Message) {
 	p := b.proxies[from]
 	reply := &ReclaimReply{}

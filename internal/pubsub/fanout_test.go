@@ -122,6 +122,7 @@ func TestFrozenEventImmuneToMisbehavingSubscriber(t *testing.T) {
 		e.CloneDetached().Set("user", event.S("also-mallory"))
 		// In-place mutation of the shared event must panic.
 		defer func() { evilPanic = recover() }()
+		//vetactive:ignore frozenmut deliberately mutates a frozen event to assert the panic
 		e.Set("user", event.S("mallory"))
 	})
 	var got []string
@@ -198,6 +199,7 @@ func TestProxyBufferSafeUnderBorrow(t *testing.T) {
 	})
 	fixed.Subscribe(NewFilter(TypeIs("t")), func(e *event.Event) {
 		defer func() { _ = recover() }()
+		//vetactive:ignore frozenmut deliberately mutates a frozen event to assert the panic
 		e.Set("user", event.S("corrupted"))
 	})
 	tn.settle()

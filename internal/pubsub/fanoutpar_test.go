@@ -10,6 +10,7 @@ import (
 
 	"github.com/gloss/active/internal/event"
 	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/leakcheck"
 	"github.com/gloss/active/internal/netapi"
 	"github.com/gloss/active/internal/vclock"
 	"github.com/gloss/active/internal/wire"
@@ -312,6 +313,7 @@ func TestFanoutPerSourceFIFOTwoPublishers(t *testing.T) {
 // is in CI's -race step: any classification or bookkeeping that leaked
 // off the actor loop would trip the detector.
 func TestShedDrainSeamUnderFanout(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	ep := newConcEndpoint("seam-broker")
 	b := NewBroker(ep, Options{FanoutWorkers: 4})
 	if b.pool == nil {

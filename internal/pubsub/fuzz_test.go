@@ -1,0 +1,33 @@
+package pubsub
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/gloss/active/internal/event"
+	"github.com/gloss/active/internal/wire"
+)
+
+// FuzzFilterParseWire drives the binary filter decoder — the payload of
+// every subscription-churn message — with arbitrary frames: it must
+// never panic, and accepted filters must round-trip byte-stably.
+func FuzzFilterParseWire(f *testing.F) {
+	seed := NewFilter(TypeIs("alert"), Eq("user", event.S("alice")))
+	f.Add([]byte(seed.AppendWire(nil)))
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 0x01, 0x61})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var flt Filter
+		if err := flt.ParseWire(wire.NewBinReader(data)); err != nil {
+			return
+		}
+		first := flt.AppendWire(nil)
+		var re Filter
+		if err := re.ParseWire(wire.NewBinReader(first)); err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v", err)
+		}
+		if second := re.AppendWire(nil); !bytes.Equal(first, second) {
+			t.Fatalf("encode not a fixed point:\n first=%x\nsecond=%x", first, second)
+		}
+	})
+}

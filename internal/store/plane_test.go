@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/leakcheck"
 )
 
 // storedState summarises a node's stored objects (GUID + body hash) in
@@ -369,6 +370,7 @@ func TestChunkedReplicationDelivers(t *testing.T) {
 // arrive must be garbage collected after ChunkTimeout, not leak
 // reassembly buffers forever.
 func TestChunkTimeoutDropsStalledTransfer(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	c := buildCluster(t, 84, 2, Options{RepairInterval: -1, ChunkTimeout: time.Second})
 	recv := c.stores[0]
 	recv.handleManifest(nil, c.stores[1].ep.ID(), &ManifestMsg{

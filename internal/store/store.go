@@ -247,7 +247,11 @@ func (s *Store) Overlay() *plaxton.Overlay { return s.overlay }
 
 // Stats returns a snapshot of counters and occupancy. O(1): stored
 // occupancy is maintained incrementally on store/overwrite/evict rather
-// than recomputed by iterating every object.
+// than recomputed by iterating every object. Must run on the store's
+// owning goroutine: all state is confined to the endpoint's delivery
+// loop.
+//
+//vetactive:ignore atomicstats actor-confined to the endpoint delivery goroutine
 func (s *Store) Stats() Stats {
 	st := s.stats
 	st.StoredObjects = len(s.objects)

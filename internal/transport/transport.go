@@ -87,6 +87,11 @@ func (HelloMsg) Kind() string { return "transport.hello" }
 func (HelloMsg) Control() bool { return true }
 
 // RegisterMessages records transport message types in a wire registry.
+// The hello handshake happens once per connection and must stay
+// decodable by the oldest peer in a mixed fleet, so it is XML-only by
+// design.
+//
+//vetactive:xmlfallback handshake is once-per-connection and version-bridging
 func RegisterMessages(r *wire.Registry) { r.Register(&HelloMsg{}) }
 
 // Options configure a TCP node.
@@ -174,6 +179,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.PeerBudget == nil && o.Common.PeerBudget != nil {
 		o.PeerBudget = o.Common.PeerBudget
+	}
+	if !o.LegacyOutbox {
+		o.LegacyOutbox = o.Common.LegacyOutbox
 	}
 	if o.OutboxHighWater == 0 {
 		o.OutboxHighWater = 1 << 20

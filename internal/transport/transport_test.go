@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/gloss/active/internal/ids"
+	"github.com/gloss/active/internal/leakcheck"
 	"github.com/gloss/active/internal/netapi"
 	"github.com/gloss/active/internal/plaxton"
 	"github.com/gloss/active/internal/store"
@@ -254,6 +255,7 @@ func TestOverlayAndStoreOverTCP(t *testing.T) {
 }
 
 func TestCloseIsIdempotentAndStopsTraffic(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	reg := testReg()
 	a := newNode(t, "tcp-close-a", reg)
 	b := newNode(t, "tcp-close-b", reg)
